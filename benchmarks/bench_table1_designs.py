@@ -1,0 +1,70 @@
+"""Table 1 — characteristics of the reference designs D1-D4.
+
+The paper's Table 1 reports, per design: the number of power-grid nodes, the
+number of current loads, the mean and maximum worst-case noise over the
+random test vectors, and the hotspot ratio (tiles exceeding 10% of Vdd).
+This benchmark regenerates those columns for the synthetic analogues and
+times the ground-truth simulation of one test vector per design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import get_dataset, get_design, mean_hotspot_ratio, save_records
+from repro.io import ExperimentRecord
+from repro.pdn import reference_design_names
+from repro.sim import DynamicNoiseAnalysis
+
+
+def _table1_record(name: str) -> ExperimentRecord:
+    design = get_design(name)
+    dataset = get_dataset(name)
+    targets = dataset.targets()
+    per_vector_mean = targets.reshape(len(dataset), -1).mean(axis=1)
+    return ExperimentRecord(
+        experiment="table1",
+        label=name,
+        values={
+            "tile_grid": f"{design.tile_grid.m}x{design.tile_grid.n}",
+            "num_nodes": design.num_nodes,
+            "num_loads_k": design.num_loads / 1e3,
+            "mean_WN_mV": float(per_vector_mean.mean() * 1e3),
+            "max_WN_mV": float(targets.max() * 1e3),
+            "hotspot_ratio_%": 100.0 * mean_hotspot_ratio(dataset),
+            "num_vectors": len(dataset),
+        },
+    )
+
+
+@pytest.mark.parametrize("name", reference_design_names())
+def test_table1_simulation_runtime(benchmark, name):
+    """Time one ground-truth dynamic-noise simulation per design."""
+    design = get_design(name)
+    dataset = get_dataset(name)
+    analysis = DynamicNoiseAnalysis(design, dataset.dt)
+    # Re-simulate the first vector of the suite as the timed unit of work.
+    from repro.workloads import generate_test_vectors
+    from repro.workloads.vectors import VectorConfig
+
+    trace = generate_test_vectors(
+        design, 1, VectorConfig(num_steps=dataset.samples[0].features.num_steps * 2, dt=dataset.dt), seed=99
+    )[0]
+    result = benchmark.pedantic(analysis.run, args=(trace,), rounds=1, iterations=1)
+    assert result.tile_noise.shape == design.tile_grid.shape
+
+
+def test_table1_report(benchmark):
+    """Assemble and persist the Table 1 analogue."""
+    records = benchmark.pedantic(
+        lambda: [_table1_record(name) for name in reference_design_names()],
+        rounds=1,
+        iterations=1,
+    )
+    save_records(records, "table1_designs", "Table 1 — design characteristics (synthetic analogues)")
+    # Sanity of the reproduced shape: noise levels in the 40-200 mV band and
+    # D3 the noisiest of the four (as in the paper).
+    means = {record.label: record.values["mean_WN_mV"] for record in records}
+    assert all(20.0 < value < 250.0 for value in means.values())
+    assert means["D3"] == max(means.values())

@@ -1,0 +1,75 @@
+"""Table 2 — accuracy and runtime of the proposed framework vs the simulator.
+
+For every design the paper reports mean / 99th-percentile / maximum absolute
+and relative errors of the predicted worst-case noise maps, the hotspot
+missing rate, and the runtime of the framework versus the commercial tool on
+the held-out test vectors.  This benchmark trains the framework on each
+reference-design analogue and regenerates those rows; the timed unit is the
+CNN inference over the test vectors (the "Proposed (s)" column).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import get_dataset, get_result, save_records
+from repro.io import ExperimentRecord
+from repro.pdn import reference_design_names
+
+
+def _table2_record(name: str) -> ExperimentRecord:
+    result = get_result(name)
+    report = result.report
+    runtime = result.runtime
+    return ExperimentRecord(
+        experiment="table2",
+        label=name,
+        values={
+            "tile_grid": f"{result.dataset.tile_shape[0]}x{result.dataset.tile_shape[1]}",
+            "mean_AE_mV": report.mean_ae_mv,
+            "mean_RE_%": report.mean_re_percent,
+            "p99_AE_mV": report.p99_ae_mv,
+            "p99_RE_%": report.p99_re_percent,
+            "max_AE_mV": report.max_ae_mv,
+            "max_RE_%": report.max_re_percent,
+            "proposed_s": runtime.predictor_seconds,
+            "simulator_s": runtime.simulator_seconds,
+            "speedup": runtime.speedup,
+            "hotspot_missing_%": report.hotspot_missing_rate * 100.0,
+            "test_vectors": runtime.num_vectors,
+        },
+    )
+
+
+@pytest.mark.parametrize("name", reference_design_names())
+def test_table2_inference_runtime(benchmark, name):
+    """Time the framework's full-map prediction for one test vector."""
+    result = get_result(name)
+    dataset = get_dataset(name)
+    test_index = int(result.split.test[0])
+    features = dataset.samples[test_index].features
+    prediction = benchmark.pedantic(
+        result.predictor.predict_features, args=(features,), rounds=3, iterations=1
+    )
+    assert prediction.noise_map.shape == dataset.tile_shape
+
+
+def test_table2_report(benchmark):
+    """Assemble and persist the Table 2 analogue, checking its shape."""
+    records = benchmark.pedantic(
+        lambda: [_table2_record(name) for name in reference_design_names()],
+        rounds=1,
+        iterations=1,
+    )
+    save_records(records, "table2_accuracy", "Table 2 — accuracy and runtime vs the simulator")
+    for record in records:
+        # The reproduction will not hit the paper's 0.63-1.02% mean RE with
+        # the quick preset's tiny training budget, but the errors must stay a
+        # small fraction of the ~100 mV noise levels.  The absolute speedup at
+        # this scale is also far below the paper's 25-69x because the scaled
+        # simulator finishes a vector in tens of milliseconds (EXPERIMENTS.md
+        # discusses how it grows with design size); here we only require that
+        # inference is not an order of magnitude slower than simulation.
+        assert record.values["mean_AE_mV"] < 30.0
+        assert record.values["mean_RE_%"] < 35.0
+        assert record.values["speedup"] > 0.1

@@ -1,0 +1,90 @@
+"""Table 3 — comparison against the PowerNet baseline on D4.
+
+The paper compares its framework with PowerNet [13] on the largest design:
+mean absolute error, mean and maximum relative error, hotspot-classification
+AUC, and runtime.  The proposed one-shot full-map prediction wins on every
+column; PowerNet pays for its per-tile maximum-CNN structure both in accuracy
+(it never sees the whole map) and in runtime (one CNN evaluation per tile and
+time window).  The timed unit here is each model's full-map prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from common import get_dataset, get_result, preset_name, save_records
+from repro.baselines import PowerNetBaseline, PowerNetConfig
+from repro.core import evaluate_predictions
+from repro.io import ExperimentRecord
+
+#: The design used for the PowerNet comparison (D4 in the paper).
+COMPARISON_DESIGN = "D4"
+
+
+def _powernet_config() -> PowerNetConfig:
+    if preset_name() == "full":
+        return PowerNetConfig(window_size=15, num_time_maps=40, epochs=20, tiles_per_vector=64, seed=0)
+    return PowerNetConfig(window_size=9, num_time_maps=12, epochs=8, tiles_per_vector=24, seed=0)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """Train both models on the same data and evaluate on the same test set."""
+    result = get_result(COMPARISON_DESIGN)
+    dataset = get_dataset(COMPARISON_DESIGN)
+    baseline = PowerNetBaseline(_powernet_config())
+    baseline.fit(dataset, result.split, seed=0)
+    powernet_maps, powernet_runtimes = baseline.predict_many(dataset, result.split.test)
+    truth = result.truth_test_maps
+    powernet_report = evaluate_predictions(powernet_maps, truth, dataset.hotspot_threshold)
+    return result, baseline, powernet_report, powernet_runtimes
+
+
+def test_table3_powernet_prediction_runtime(benchmark, comparison):
+    """Time PowerNet's tile-by-tile full-map prediction for one vector."""
+    result, baseline, _, _ = comparison
+    dataset = get_dataset(COMPARISON_DESIGN)
+    index = int(result.split.test[0])
+    noise_map, _ = benchmark.pedantic(
+        baseline.predict_sample, args=(dataset, index), rounds=1, iterations=1
+    )
+    assert noise_map.shape == dataset.tile_shape
+
+
+def test_table3_report(benchmark, comparison):
+    """Assemble and persist the Table 3 analogue, checking who wins."""
+    result, _, powernet_report, powernet_runtimes = comparison
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ours = result.report
+    records = [
+        ExperimentRecord(
+            "table3",
+            "PowerNet [13]",
+            {
+                "MAE_mV": powernet_report.mean_ae_mv,
+                "mean_RE_%": powernet_report.mean_re_percent,
+                "max_RE_%": powernet_report.max_re_percent,
+                "AUC": powernet_report.auc,
+                "runtime_s": float(np.sum(powernet_runtimes)),
+            },
+        ),
+        ExperimentRecord(
+            "table3",
+            "Ours",
+            {
+                "MAE_mV": ours.mean_ae_mv,
+                "mean_RE_%": ours.mean_re_percent,
+                "max_RE_%": ours.max_re_percent,
+                "AUC": ours.auc,
+                "runtime_s": result.runtime.predictor_seconds,
+            },
+        ),
+    ]
+    save_records(records, "table3_powernet", "Table 3 — proposed framework vs PowerNet (D4 analogue)")
+    # Shape of the paper's result: the one-shot full-map prediction is much
+    # faster than PowerNet's per-tile scanning, and its accuracy is at least
+    # competitive.  (The paper's 20x accuracy gap needs the full training
+    # budget; the quick preset only supports a comparable-accuracy check.)
+    assert result.runtime.predictor_seconds < float(np.sum(powernet_runtimes))
+    assert ours.mean_ae < 1.5 * powernet_report.mean_ae

@@ -1,0 +1,144 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  They all need
+the same expensive artefacts — a scaled reference design, a simulated
+dataset, and a trained model — so those are built once per pytest session and
+cached here.  Results are printed as text tables and written to
+``benchmarks/results/`` as JSON/CSV so EXPERIMENTS.md can quote them.
+
+Two presets are provided:
+
+* ``quick`` (default) — scaled-down designs and short training runs so the
+  whole harness finishes in minutes on a laptop.
+* ``full`` — larger scales and longer training, selected by setting the
+  environment variable ``REPRO_BENCH_PRESET=full``.
+
+Absolute numbers therefore differ from the paper (our ground truth is a
+synthetic simulator, not a commercial tool on a million-node design); the
+quantities and their relationships (who wins, error magnitudes, speedups,
+the compression knee) are what the harness reproduces.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import (
+    FrameworkResult,
+    ModelConfig,
+    PipelineConfig,
+    TrainingConfig,
+    WorstCaseNoiseFramework,
+)
+from repro.io import ExperimentRecord, format_table, write_csv, write_json
+from repro.pdn import Design, reference_design
+from repro.workloads import NoiseDataset
+
+#: Directory where benchmark records are written.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def preset_name() -> str:
+    """Benchmark preset selected via ``REPRO_BENCH_PRESET`` (quick/full)."""
+    name = os.environ.get("REPRO_BENCH_PRESET", "quick").lower()
+    if name not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_PRESET must be 'quick' or 'full', got {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """Per-design benchmark configuration."""
+
+    scale: float
+    num_vectors: int
+    num_steps: int
+    epochs: int
+    learning_rate: float
+    compression_rate: float = 0.3
+
+    def pipeline_config(self, seed: int = 0) -> PipelineConfig:
+        """Translate the preset into a :class:`PipelineConfig`."""
+        return PipelineConfig(
+            num_vectors=self.num_vectors,
+            num_steps=self.num_steps,
+            compression_rate=self.compression_rate,
+            model=ModelConfig(seed=seed),
+            training=TrainingConfig(
+                epochs=self.epochs,
+                learning_rate=self.learning_rate,
+                batch_size=4,
+                early_stopping_patience=None,
+                seed=seed,
+            ),
+            seed=seed,
+        )
+
+
+_QUICK_PRESETS: dict[str, BenchPreset] = {
+    "D1": BenchPreset(scale=0.30, num_vectors=40, num_steps=200, epochs=60, learning_rate=1.5e-3),
+    "D2": BenchPreset(scale=0.22, num_vectors=40, num_steps=200, epochs=50, learning_rate=1.5e-3),
+    "D3": BenchPreset(scale=0.25, num_vectors=40, num_steps=200, epochs=55, learning_rate=1.5e-3),
+    "D4": BenchPreset(scale=0.18, num_vectors=40, num_steps=200, epochs=50, learning_rate=1.5e-3),
+}
+
+_FULL_PRESETS: dict[str, BenchPreset] = {
+    "D1": BenchPreset(scale=1.0, num_vectors=120, num_steps=400, epochs=120, learning_rate=1e-3),
+    "D2": BenchPreset(scale=0.6, num_vectors=100, num_steps=400, epochs=100, learning_rate=1e-3),
+    "D3": BenchPreset(scale=0.8, num_vectors=100, num_steps=400, epochs=100, learning_rate=1e-3),
+    "D4": BenchPreset(scale=0.4, num_vectors=100, num_steps=400, epochs=100, learning_rate=1e-3),
+}
+
+
+def design_preset(name: str) -> BenchPreset:
+    """Preset for one reference design under the active preset family."""
+    presets = _FULL_PRESETS if preset_name() == "full" else _QUICK_PRESETS
+    if name not in presets:
+        raise ValueError(f"unknown design {name!r}")
+    return presets[name]
+
+
+@lru_cache(maxsize=None)
+def get_design(name: str) -> Design:
+    """Build (and cache) one scaled reference design."""
+    return reference_design(name, scale=design_preset(name).scale, seed=0)
+
+
+@lru_cache(maxsize=None)
+def get_framework(name: str) -> WorstCaseNoiseFramework:
+    """The end-to-end framework bound to one cached design."""
+    return WorstCaseNoiseFramework(get_design(name), design_preset(name).pipeline_config())
+
+
+@lru_cache(maxsize=None)
+def get_dataset(name: str) -> NoiseDataset:
+    """Simulated (ground-truth) dataset for one design — cached per session."""
+    return get_framework(name).build_dataset()
+
+
+@lru_cache(maxsize=None)
+def get_result(name: str) -> FrameworkResult:
+    """Full framework run (simulate + train + evaluate) — cached per session."""
+    return get_framework(name).run(dataset=get_dataset(name))
+
+
+def save_records(records: Sequence[ExperimentRecord], stem: str, title: str) -> str:
+    """Print a text table and persist the records under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    write_json(records, RESULTS_DIR / f"{stem}.json")
+    write_csv(records, RESULTS_DIR / f"{stem}.csv")
+    table = format_table(records, title=title)
+    print()
+    print(table)
+    return table
+
+
+def mean_hotspot_ratio(dataset: NoiseDataset) -> float:
+    """Average hotspot ratio across the dataset's vectors (Table 1 column)."""
+    return float(np.mean([sample.hotspot_map.mean() for sample in dataset.samples]))

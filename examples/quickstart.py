@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: train the worst-case noise predictor on a small design.
+
+This walks through the paper's whole flow (Fig. 2) on a deliberately small
+synthetic design so it finishes in about a minute:
+
+1. build a PDN design (grid + package + loads),
+2. generate random test vectors and simulate the ground-truth worst-case
+   noise maps with the transient engine (the commercial-tool stand-in),
+3. train the three-subnet CNN on the expansion-split training set,
+4. predict the noise map of a held-out vector and compare accuracy and
+   runtime against the simulator.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ModelConfig,
+    PipelineConfig,
+    TrainingConfig,
+    WorstCaseNoiseFramework,
+    small_test_design,
+)
+from repro.io import ascii_heatmap
+
+
+def main() -> None:
+    print("=== 1. Build a small PDN design ===")
+    design = small_test_design(tile_rows=10, tile_cols=10, num_loads=80, seed=0)
+    for key, value in design.summary().items():
+        print(f"  {key}: {value}")
+
+    print("\n=== 2-4. Simulate, train, evaluate ===")
+    config = PipelineConfig(
+        num_vectors=32,
+        num_steps=200,
+        compression_rate=0.3,
+        model=ModelConfig(),  # C1 = C2 = 8, C3 = 16 as in the paper
+        training=TrainingConfig(epochs=40, learning_rate=2e-3, batch_size=4),
+        seed=0,
+    )
+    framework = WorstCaseNoiseFramework(design, config)
+    result = framework.run()
+
+    print("\nAccuracy on held-out test vectors:")
+    for key, value in result.report.as_dict().items():
+        print(f"  {key}: {value:.4g}" if isinstance(value, float) else f"  {key}: {value}")
+    print("\nRuntime comparison (test vectors):")
+    for key, value in result.runtime.as_dict().items():
+        print(f"  {key}: {value:.4g}" if isinstance(value, float) else f"  {key}: {value}")
+
+    print("\nWorst-case noise map of the worst test vector (ground truth vs predicted):")
+    worst = result.truth_test_maps.reshape(len(result.truth_test_maps), -1).max(axis=1).argmax()
+    print(ascii_heatmap(result.truth_test_maps[worst] * 1e3, title="ground truth (mV)"))
+    print()
+    print(ascii_heatmap(result.predicted_test_maps[worst] * 1e3, title="predicted (mV)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Baseline predictors the paper compares against (or argues against).
+
+* :mod:`repro.baselines.powernet` — the PowerNet CNN baseline of Table 3.
+* :mod:`repro.baselines.trees` / :mod:`repro.baselines.tile_features` — the
+  per-tile feature-engineering + XGBoost-style family discussed in Sec. 2.
+"""
+
+from repro.baselines.powernet import PowerNetBaseline, PowerNetConfig, PowerNetModel
+from repro.baselines.trees import GradientBoostedTrees, RegressionTree
+from repro.baselines.tile_features import (
+    TileGBTBaseline,
+    TileRidgeBaseline,
+    tile_feature_matrix,
+)
+
+__all__ = [
+    "PowerNetBaseline",
+    "PowerNetConfig",
+    "PowerNetModel",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "TileGBTBaseline",
+    "TileRidgeBaseline",
+    "tile_feature_matrix",
+]

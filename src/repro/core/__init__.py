@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the worst-case noise prediction framework.
+
+Contains the three-subnet CNN (Fig. 3), the training procedure with the
+training-set expansion strategy (Sec. 3.4.4), the inference-side predictor,
+the accuracy metrics of Tables 2/3, and the end-to-end pipeline of Fig. 2.
+"""
+
+from repro.core.config import ModelConfig, PipelineConfig, TrainingConfig
+from repro.core.subnets import (
+    CurrentFusionNet,
+    DistanceReductionNet,
+    EncoderDecoder,
+    NoisePredictionNet,
+)
+from repro.core.model import WorstCaseNoiseNet
+from repro.core.metrics import (
+    AccuracyReport,
+    absolute_error,
+    evaluate_predictions,
+    hotspot_missing_rate,
+    relative_error,
+    roc_auc,
+)
+from repro.core.training import NoiseModelTrainer, TrainingHistory, TrainingResult
+from repro.core.inference import NoisePredictor, PredictionResult
+from repro.core.pipeline import FrameworkResult, RuntimeComparison, WorstCaseNoiseFramework
+
+__all__ = [
+    "ModelConfig",
+    "TrainingConfig",
+    "PipelineConfig",
+    "DistanceReductionNet",
+    "CurrentFusionNet",
+    "NoisePredictionNet",
+    "EncoderDecoder",
+    "WorstCaseNoiseNet",
+    "AccuracyReport",
+    "absolute_error",
+    "relative_error",
+    "hotspot_missing_rate",
+    "roc_auc",
+    "evaluate_predictions",
+    "NoiseModelTrainer",
+    "TrainingHistory",
+    "TrainingResult",
+    "NoisePredictor",
+    "PredictionResult",
+    "FrameworkResult",
+    "RuntimeComparison",
+    "WorstCaseNoiseFramework",
+]

@@ -1,0 +1,181 @@
+"""Inference: fast worst-case noise prediction for new test vectors.
+
+Once trained, the predictor replaces the transient simulator in the
+worst-case validation loop: given a new test vector it tiles the currents,
+applies Algorithm 1, runs one forward pass of the CNN and returns the
+predicted noise map in volts, together with its wall-clock runtime so the
+speedup over the simulator can be reported (Table 2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.model import WorstCaseNoiseNet
+from repro.features.extraction import (
+    FeatureNormalizer,
+    VectorFeatures,
+    extract_vector_features,
+)
+from repro.nn import load_checkpoint, no_grad, save_checkpoint
+from repro.pdn.designs import Design
+from repro.sim.waveform import CurrentTrace
+from repro.utils import Timer, check_positive
+from repro.workloads.dataset import NoiseDataset
+
+
+@dataclass
+class PredictionResult:
+    """Prediction for one test vector."""
+
+    noise_map: np.ndarray
+    runtime_seconds: float
+    name: str = ""
+
+    @property
+    def worst_noise(self) -> float:
+        """Predicted global worst-case noise (V)."""
+        return float(np.max(self.noise_map))
+
+    def hotspot_map(self, threshold: float) -> np.ndarray:
+        """Boolean hotspot map at an absolute threshold (V)."""
+        check_positive(threshold, "threshold")
+        return self.noise_map > threshold
+
+
+class NoisePredictor:
+    """Wraps a trained model with its normaliser and design context.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.core.model.WorstCaseNoiseNet`.
+    normalizer:
+        The feature normaliser fitted during training.
+    distance:
+        The design's distance tensor ``(B, m, n)`` in um.
+    compression_rate / rate_step:
+        Algorithm-1 parameters applied to incoming traces.
+    """
+
+    def __init__(
+        self,
+        model: WorstCaseNoiseNet,
+        normalizer: FeatureNormalizer,
+        distance: np.ndarray,
+        compression_rate: Optional[float] = 0.3,
+        rate_step: float = 0.05,
+    ):
+        self.model = model
+        self.normalizer = normalizer
+        self.distance = np.asarray(distance, dtype=float)
+        if self.distance.ndim != 3:
+            raise ValueError(f"distance must have shape (B, m, n), got {self.distance.shape}")
+        if self.distance.shape[0] != model.num_bumps:
+            raise ValueError(
+                f"distance tensor has {self.distance.shape[0]} bumps, model expects {model.num_bumps}"
+            )
+        self.compression_rate = compression_rate
+        self.rate_step = rate_step
+        self._normalized_distance = normalizer.normalize_distance(self.distance)
+
+    # ------------------------------------------------------------------ #
+    # prediction entry points
+    # ------------------------------------------------------------------ #
+
+    def predict_features(self, features: VectorFeatures) -> PredictionResult:
+        """Predict from pre-extracted features (tiled current maps)."""
+        timer = Timer()
+        with timer.measure():
+            normalized_currents = self.normalizer.normalize_currents(features.current_maps)
+            with no_grad():
+                prediction = self.model(normalized_currents, self._normalized_distance)
+            noise_map = self.normalizer.denormalize_noise(prediction.numpy())
+        return PredictionResult(
+            noise_map=noise_map, runtime_seconds=timer.last, name=features.name
+        )
+
+    def predict_trace(self, trace: CurrentTrace, design: Design) -> PredictionResult:
+        """Predict from a raw test vector (tiling + compression + CNN)."""
+        timer = Timer()
+        with timer.measure():
+            features = extract_vector_features(
+                trace,
+                design,
+                compression_rate=self.compression_rate,
+                rate_step=self.rate_step,
+            )
+            result = self.predict_features(features)
+        return PredictionResult(
+            noise_map=result.noise_map, runtime_seconds=timer.last, name=trace.name
+        )
+
+    def predict_dataset(
+        self, dataset: NoiseDataset, indices: Optional[Sequence[int]] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Predict every selected dataset sample.
+
+        Returns ``(maps, runtimes)`` with ``maps`` of shape
+        ``(num_selected, m, n)`` in volts.
+        """
+        if indices is None:
+            indices = range(len(dataset))
+        maps = []
+        runtimes = []
+        for index in indices:
+            result = self.predict_features(dataset.samples[int(index)].features)
+            maps.append(result.noise_map)
+            runtimes.append(result.runtime_seconds)
+        return np.stack(maps), np.array(runtimes)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Save model weights, normaliser and predictor settings to ``.npz``."""
+        metadata = {
+            "normalizer": self.normalizer.to_dict(),
+            "compression_rate": self.compression_rate,
+            "rate_step": self.rate_step,
+            "num_bumps": self.model.num_bumps,
+            "model_config": {
+                "distance_kernels": self.model.config.distance_kernels,
+                "fusion_kernels": self.model.config.fusion_kernels,
+                "prediction_kernels": self.model.config.prediction_kernels,
+                "kernel_size": self.model.config.kernel_size,
+                "distance_depth": self.model.config.distance_depth,
+                "prediction_depth": self.model.config.prediction_depth,
+                "seed": self.model.config.seed,
+            },
+            "distance_shape": list(self.distance.shape),
+        }
+        save_checkpoint(self.model, path, metadata=metadata)
+        # The distance tensor itself is stored next to the weights.
+        np.savez_compressed(str(path) + ".distance.npz", distance=self.distance)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "NoisePredictor":
+        """Restore a predictor saved with :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            if "__metadata_json__" not in data.files:
+                raise ValueError(f"checkpoint {path} is missing predictor metadata")
+            metadata = json.loads(str(data["__metadata_json__"]))
+        config = ModelConfig(**metadata["model_config"])
+        model = WorstCaseNoiseNet(num_bumps=int(metadata["num_bumps"]), config=config)
+        load_checkpoint(model, path)
+        with np.load(str(path) + ".distance.npz") as data:
+            distance = data["distance"]
+        return cls(
+            model=model,
+            normalizer=FeatureNormalizer.from_dict(metadata["normalizer"]),
+            distance=distance,
+            compression_rate=metadata["compression_rate"],
+            rate_step=metadata["rate_step"],
+        )

@@ -1,0 +1,128 @@
+"""The complete worst-case dynamic PDN noise prediction model (Fig. 3).
+
+:class:`WorstCaseNoiseNet` wires the three subnets together:
+
+1. the distance tensor ``(B, m, n)`` is reduced to a single-channel map,
+2. each retained current map is passed through the (weight-shared) fusion
+   subnet, and the per-tile statistics ``I_max``, ``I_mean`` and ``I_msd``
+   are taken over the time axis,
+3. the four maps are concatenated and the noise-prediction subnet produces
+   the worst-case noise map ``V in R^{m x n}``.
+
+The whole noise map of a design is produced with a single forward pass —
+this "one-time execution" property is the paper's main efficiency argument
+against tile-by-tile approaches such as PowerNet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.subnets import CurrentFusionNet, DistanceReductionNet, NoisePredictionNet
+from repro.nn import Module, Tensor, as_tensor, cat
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+class WorstCaseNoiseNet(Module):
+    """Three-subnet CNN predicting the worst-case dynamic noise map.
+
+    Parameters
+    ----------
+    num_bumps:
+        Number of power bumps ``B`` (input channels of the distance subnet).
+    config:
+        Architecture hyper-parameters (``C1``, ``C2``, ``C3``, depths).
+    """
+
+    def __init__(self, num_bumps: int, config: ModelConfig = ModelConfig()):
+        super().__init__()
+        self.config = config
+        self.num_bumps = num_bumps
+        self.distance_subnet = DistanceReductionNet(
+            num_bumps=num_bumps,
+            hidden_channels=config.distance_kernels,
+            depth=config.distance_depth,
+            kernel_size=config.kernel_size,
+            seed=config.seed,
+        )
+        self.fusion_subnet = CurrentFusionNet(
+            hidden_channels=config.fusion_kernels,
+            kernel_size=config.kernel_size,
+            seed=config.seed + 1,
+        )
+        self.prediction_subnet = NoisePredictionNet(
+            hidden_channels=config.prediction_kernels,
+            depth=config.prediction_depth,
+            kernel_size=config.kernel_size,
+            seed=config.seed + 2,
+        )
+
+    # ------------------------------------------------------------------ #
+    # forward pieces
+    # ------------------------------------------------------------------ #
+
+    def reduce_distance(self, distance: ArrayOrTensor) -> Tensor:
+        """Reduced distance map ``(1, 1, m, n)`` from a ``(B, m, n)`` tensor."""
+        tensor = as_tensor(distance)
+        if tensor.ndim != 3:
+            raise ValueError(f"distance must have shape (B, m, n), got {tensor.shape}")
+        batched = tensor.reshape(1, *tensor.shape)
+        return self.distance_subnet(batched)
+
+    def fuse_currents(self, current_maps: ArrayOrTensor) -> Tensor:
+        """Fused current statistics ``(1, 3, m, n)`` from ``(T, m, n)`` maps.
+
+        The fusion subnet runs on every stamp with shared weights; the
+        statistics (max, (max+min)/2, mu+3sigma) are taken across stamps.
+        """
+        tensor = as_tensor(current_maps)
+        if tensor.ndim != 3:
+            raise ValueError(f"current maps must have shape (T, m, n), got {tensor.shape}")
+        num_steps, height, width = tensor.shape
+        as_batch = tensor.reshape(num_steps, 1, height, width)
+        fused = self.fusion_subnet(as_batch)  # (T, 1, m, n)
+        fused = fused.reshape(num_steps, height, width)
+
+        maximum = fused.max(axis=0, keepdims=True)
+        minimum = fused.min(axis=0, keepdims=True)
+        mean = fused.mean(axis=0, keepdims=True)
+        std = fused.std(axis=0, keepdims=True)
+        i_max = maximum
+        i_mean = 0.5 * (maximum + minimum)
+        i_msd = mean + 3.0 * std
+        stacked = cat([i_max, i_mean, i_msd], axis=0)  # (3, m, n)
+        return stacked.reshape(1, 3, height, width)
+
+    def forward(self, current_maps: ArrayOrTensor, distance: ArrayOrTensor) -> Tensor:
+        """Predict the (normalised) worst-case noise map, shape ``(m, n)``.
+
+        Parameters
+        ----------
+        current_maps:
+            Normalised, temporally compressed current maps ``(T, m, n)``.
+        distance:
+            Normalised distance tensor ``(B, m, n)``.
+        """
+        reduced_distance = self.reduce_distance(distance)  # (1, 1, m, n)
+        fused_currents = self.fuse_currents(current_maps)  # (1, 3, m, n)
+        features = cat([fused_currents, reduced_distance], axis=1)  # (1, 4, m, n)
+        prediction = self.prediction_subnet(features)  # (1, 1, m, n)
+        height, width = prediction.shape[2], prediction.shape[3]
+        return prediction.reshape(height, width)
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+
+    def architecture_summary(self) -> dict:
+        """Parameter counts per subnet (useful for logging and tests)."""
+        return {
+            "distance_subnet": self.distance_subnet.num_parameters(),
+            "fusion_subnet": self.fusion_subnet.num_parameters(),
+            "prediction_subnet": self.prediction_subnet.num_parameters(),
+            "total": self.num_parameters(),
+        }

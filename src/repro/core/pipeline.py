@@ -1,0 +1,207 @@
+"""End-to-end worst-case noise prediction framework (Fig. 2 of the paper).
+
+:class:`WorstCaseNoiseFramework` strings the whole flow together for one
+design:
+
+1. randomly generate test vectors (:mod:`repro.workloads`),
+2. run the ground-truth dynamic noise simulation for every vector
+   (:mod:`repro.sim` — the commercial-tool stand-in),
+3. spatially tile and temporally compress the current features
+   (:mod:`repro.features`),
+4. split the samples with the training-set expansion strategy, fit the
+   normaliser, and train the three-subnet CNN (:mod:`repro.core.training`),
+5. evaluate accuracy, hotspot coverage and runtime/speedup on the held-out
+   test vectors — the quantities reported in Tables 2 and 3.
+
+Benchmarks and examples build on this class rather than re-implementing the
+flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.inference import NoisePredictor
+from repro.core.metrics import AccuracyReport, evaluate_predictions
+from repro.core.training import NoiseModelTrainer, TrainingResult
+from repro.pdn.designs import Design
+from repro.sim.dynamic_noise import DynamicNoiseAnalysis
+from repro.sim.transient import TransientOptions
+from repro.utils import get_logger
+from repro.workloads.dataset import DatasetSplit, NoiseDataset, build_dataset, expansion_split
+from repro.workloads.vectors import TestVectorGenerator, VectorConfig
+
+_LOG = get_logger("core.pipeline")
+
+
+@dataclass
+class RuntimeComparison:
+    """Wall-clock comparison between the simulator and the predictor.
+
+    Both totals cover the same set of (test) vectors, mirroring how the paper
+    compares its framework against the commercial tool in Table 2.
+    """
+
+    simulator_seconds: float
+    predictor_seconds: float
+    num_vectors: int
+
+    @property
+    def speedup(self) -> float:
+        """Simulator time divided by predictor time."""
+        if self.predictor_seconds <= 0:
+            return float("inf")
+        return self.simulator_seconds / self.predictor_seconds
+
+    def as_dict(self) -> dict:
+        """Flat dictionary for reporting."""
+        return {
+            "simulator_s": self.simulator_seconds,
+            "predictor_s": self.predictor_seconds,
+            "speedup": self.speedup,
+            "num_vectors": self.num_vectors,
+        }
+
+
+@dataclass
+class FrameworkResult:
+    """Everything produced by one end-to-end framework run."""
+
+    design_name: str
+    dataset: NoiseDataset
+    split: DatasetSplit
+    training: TrainingResult
+    predictor: NoisePredictor
+    report: AccuracyReport
+    runtime: RuntimeComparison
+    predicted_test_maps: np.ndarray
+    truth_test_maps: np.ndarray
+
+    def summary(self) -> dict:
+        """Flat summary combining accuracy and runtime (one Table-2 row)."""
+        summary = {"design": self.design_name, "tile_shape": self.dataset.tile_shape}
+        summary.update(self.report.as_dict())
+        summary.update(self.runtime.as_dict())
+        return summary
+
+
+class WorstCaseNoiseFramework:
+    """The proposed framework, end to end, for a single design."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: PipelineConfig = PipelineConfig(),
+        transient_options: TransientOptions = TransientOptions(),
+    ):
+        self.design = design
+        self.config = config
+        self.transient_options = transient_options
+
+    # ------------------------------------------------------------------ #
+    # individual stages (also usable on their own)
+    # ------------------------------------------------------------------ #
+
+    def generate_vectors(self):
+        """Stage 1: random test vectors for this design."""
+        vector_config = VectorConfig(num_steps=self.config.num_steps, dt=self.config.dt)
+        generator = TestVectorGenerator(self.design, vector_config)
+        return generator.generate_suite(self.config.num_vectors, seed=self.config.seed)
+
+    def build_dataset(self, traces=None, analysis: Optional[DynamicNoiseAnalysis] = None) -> NoiseDataset:
+        """Stage 2+3: simulate ground truth and extract features."""
+        if traces is None:
+            traces = self.generate_vectors()
+        return build_dataset(
+            self.design,
+            traces,
+            compression_rate=self.config.compression_rate,
+            rate_step=self.config.rate_step,
+            transient_options=self.transient_options,
+            analysis=analysis,
+        )
+
+    def train(self, dataset: NoiseDataset, split: Optional[DatasetSplit] = None) -> TrainingResult:
+        """Stage 4: expansion split plus CNN training."""
+        if split is None:
+            split = expansion_split(
+                dataset,
+                train_fraction=self.config.train_fraction,
+                validation_ratio=self.config.validation_ratio,
+                seed=self.config.seed,
+            )
+        trainer = NoiseModelTrainer(
+            dataset,
+            design=self.design,
+            split=split,
+            model_config=self.config.model,
+            training_config=self.config.training,
+        )
+        return trainer.train()
+
+    def evaluate(
+        self,
+        dataset: NoiseDataset,
+        training: TrainingResult,
+        indices: Optional[Sequence[int]] = None,
+    ) -> tuple[AccuracyReport, RuntimeComparison, np.ndarray, np.ndarray]:
+        """Stage 5: accuracy and runtime on the held-out test vectors."""
+        if indices is None:
+            indices = training.split.test
+        indices = np.asarray(list(indices), dtype=int)
+        predictor = NoisePredictor(
+            model=training.model,
+            normalizer=training.normalizer,
+            distance=dataset.distance,
+            compression_rate=self.config.compression_rate,
+            rate_step=self.config.rate_step,
+        )
+        predicted, runtimes = predictor.predict_dataset(dataset, indices)
+        truth = np.stack([dataset.samples[i].target for i in indices])
+        report = evaluate_predictions(
+            predicted, truth, hotspot_threshold=dataset.hotspot_threshold
+        )
+        simulator_seconds = float(
+            np.sum([dataset.samples[i].sim_runtime for i in indices])
+        )
+        runtime = RuntimeComparison(
+            simulator_seconds=simulator_seconds,
+            predictor_seconds=float(np.sum(runtimes)),
+            num_vectors=len(indices),
+        )
+        return report, runtime, predicted, truth
+
+    # ------------------------------------------------------------------ #
+    # end to end
+    # ------------------------------------------------------------------ #
+
+    def run(self, dataset: Optional[NoiseDataset] = None) -> FrameworkResult:
+        """Run the complete flow and return the bundled results."""
+        if dataset is None:
+            dataset = self.build_dataset()
+        training = self.train(dataset)
+        report, runtime, predicted, truth = self.evaluate(dataset, training)
+        predictor = NoisePredictor(
+            model=training.model,
+            normalizer=training.normalizer,
+            distance=dataset.distance,
+            compression_rate=self.config.compression_rate,
+            rate_step=self.config.rate_step,
+        )
+        result = FrameworkResult(
+            design_name=self.design.name,
+            dataset=dataset,
+            split=training.split,
+            training=training,
+            predictor=predictor,
+            report=report,
+            runtime=runtime,
+            predicted_test_maps=predicted,
+            truth_test_maps=truth,
+        )
+        _LOG.info("framework run on %s: %s", self.design.name, report.table_row())
+        return result

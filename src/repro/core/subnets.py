@@ -1,0 +1,216 @@
+"""The three subnets of the worst-case noise prediction model (Sec. 3.4).
+
+* :class:`DistanceReductionNet` — U-Net-like encoder/decoder that squeezes
+  the ``B``-channel distance tensor down to a single reduced distance map
+  (Sec. 3.4.1).
+* :class:`CurrentFusionNet` — a small 4-layer encoder/decoder applied to each
+  (compressed) current map independently; the temporal reduction to
+  ``I_max`` / ``I_mean`` / ``I_msd`` happens in the parent model (Sec. 3.4.2).
+* :class:`NoisePredictionNet` — U-Net-like network mapping the concatenated
+  ``4 x m x n`` feature tensor to the predicted worst-case noise map
+  (Sec. 3.4.3).
+
+Following the paper, convolution layers use replication padding and ReLU,
+deconvolution (transposed-convolution) layers use zero padding, downsampling
+and upsampling layers use stride 2 and are each followed by a stride-1
+convolution, skip connections join same-size encoder/decoder features, and
+the output layer has a single kernel and no activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn import Conv2d, ConvTranspose2d, Module, ReLU, Sequential, Tensor, cat
+from repro.utils.random import ensure_rng
+
+
+def _conv(in_channels: int, out_channels: int, kernel: int, stride: int, seed) -> Conv2d:
+    """Stride-``stride`` convolution with replication padding (paper's choice)."""
+    return Conv2d(
+        in_channels,
+        out_channels,
+        kernel_size=kernel,
+        stride=stride,
+        padding=kernel // 2,
+        padding_mode="replicate",
+        seed=seed,
+    )
+
+
+def _deconv(in_channels: int, out_channels: int, seed) -> ConvTranspose2d:
+    """Stride-2 transposed convolution with zero padding (paper's choice)."""
+    return ConvTranspose2d(
+        in_channels, out_channels, kernel_size=4, stride=2, padding=1, seed=seed
+    )
+
+
+def _crop_to(x: Tensor, height: int, width: int) -> Tensor:
+    """Crop the spatial dims of an NCHW tensor (upsampled maps can overshoot by one)."""
+    if x.shape[2] == height and x.shape[3] == width:
+        return x
+    return x[:, :, :height, :width]
+
+
+class EncoderDecoder(Module):
+    """A U-Net-like encoder/decoder with skip connections.
+
+    Parameters
+    ----------
+    in_channels / out_channels:
+        Channel counts of the input tensor and the (single-kernel) output.
+    hidden_channels:
+        Kernels per internal layer (``C1``/``C3`` in the paper).
+    depth:
+        Number of downsampling (and matching upsampling) levels.
+    kernel_size:
+        Square kernel size of all stride-1 convolutions.
+    seed:
+        Weight-initialisation seed.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        hidden_channels: int,
+        depth: int = 2,
+        kernel_size: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        rng = ensure_rng(seed)
+        self.depth = depth
+
+        self.input_conv = _conv(in_channels, hidden_channels, kernel_size, 1, rng)
+        self.input_relu = ReLU()
+
+        self._down_samplers: list[Sequential] = []
+        self._up_samplers: list[ConvTranspose2d] = []
+        self._up_refiners: list[Sequential] = []
+        for level in range(depth):
+            down = Sequential(
+                _conv(hidden_channels, hidden_channels, kernel_size, 2, rng),
+                ReLU(),
+                _conv(hidden_channels, hidden_channels, kernel_size, 1, rng),
+                ReLU(),
+            )
+            self._down_samplers.append(down)
+            setattr(self, f"down{level}", down)
+        for level in range(depth):
+            up = _deconv(hidden_channels, hidden_channels, rng)
+            refine = Sequential(
+                # The refine conv sees the upsampled features concatenated
+                # with the same-size skip features.
+                _conv(2 * hidden_channels, hidden_channels, kernel_size, 1, rng),
+                ReLU(),
+            )
+            self._up_samplers.append(up)
+            self._up_refiners.append(refine)
+            setattr(self, f"up{level}", up)
+            setattr(self, f"refine{level}", refine)
+        self.output_conv = _conv(hidden_channels, out_channels, kernel_size, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        features = self.input_relu(self.input_conv(x))
+        skips: list[Tensor] = [features]
+        for down in self._down_samplers:
+            features = down(features)
+            skips.append(features)
+
+        # The deepest feature map is both the last skip and the decoder input.
+        skips.pop()
+        for up, refine in zip(self._up_samplers, self._up_refiners):
+            skip = skips.pop()
+            upsampled = up(features).relu()
+            upsampled = _crop_to(upsampled, skip.shape[2], skip.shape[3])
+            features = refine(cat([upsampled, skip], axis=1))
+        return self.output_conv(features)
+
+
+class DistanceReductionNet(Module):
+    """Distance-dimension-reduction subnet (Sec. 3.4.1).
+
+    Maps the normalised distance tensor ``(1, B, m, n)`` to the reduced
+    single-channel map ``(1, 1, m, n)``.
+    """
+
+    def __init__(self, num_bumps: int, hidden_channels: int = 8, depth: int = 2, kernel_size: int = 3, seed: int = 0):
+        super().__init__()
+        if num_bumps < 1:
+            raise ValueError(f"num_bumps must be >= 1, got {num_bumps}")
+        self.num_bumps = num_bumps
+        self.network = EncoderDecoder(
+            in_channels=num_bumps,
+            out_channels=1,
+            hidden_channels=hidden_channels,
+            depth=depth,
+            kernel_size=kernel_size,
+            seed=seed,
+        )
+
+    def forward(self, distance: Tensor) -> Tensor:
+        if distance.ndim != 4 or distance.shape[1] != self.num_bumps:
+            raise ValueError(
+                f"distance tensor must have shape (N, {self.num_bumps}, m, n), got {distance.shape}"
+            )
+        return self.network(distance)
+
+
+class CurrentFusionNet(Module):
+    """Current-map-fusion subnet (Sec. 3.4.2).
+
+    A small 4-layer encoder/decoder applied to every retained time stamp
+    independently (the stamps are treated as a batch, so the subnet handles
+    vectors of any length with shared weights).  The input has one channel;
+    the output is again a single-channel map per stamp.
+    """
+
+    def __init__(self, hidden_channels: int = 8, kernel_size: int = 3, seed: int = 0):
+        super().__init__()
+        rng = ensure_rng(seed)
+        self.encoder = Sequential(
+            _conv(1, hidden_channels, kernel_size, 2, rng),
+            ReLU(),
+            _conv(hidden_channels, hidden_channels, kernel_size, 1, rng),
+            ReLU(),
+        )
+        self.decoder_up = _deconv(hidden_channels, hidden_channels, rng)
+        self.decoder_out = _conv(hidden_channels, 1, kernel_size, 1, rng)
+
+    def forward(self, current_maps: Tensor) -> Tensor:
+        if current_maps.ndim != 4 or current_maps.shape[1] != 1:
+            raise ValueError(
+                f"current maps must have shape (T, 1, m, n), got {current_maps.shape}"
+            )
+        height, width = current_maps.shape[2], current_maps.shape[3]
+        encoded = self.encoder(current_maps)
+        upsampled = self.decoder_up(encoded).relu()
+        upsampled = _crop_to(upsampled, height, width)
+        return self.decoder_out(upsampled)
+
+
+class NoisePredictionNet(Module):
+    """Worst-case noise prediction subnet (Sec. 3.4.3).
+
+    Consumes the ``4 x m x n`` concatenation of the reduced distance map and
+    the three fused current statistics, and outputs the predicted noise map.
+    """
+
+    def __init__(self, hidden_channels: int = 16, depth: int = 2, kernel_size: int = 3, seed: int = 0):
+        super().__init__()
+        self.network = EncoderDecoder(
+            in_channels=4,
+            out_channels=1,
+            hidden_channels=hidden_channels,
+            depth=depth,
+            kernel_size=kernel_size,
+            seed=seed,
+        )
+
+    def forward(self, features: Tensor) -> Tensor:
+        if features.ndim != 4 or features.shape[1] != 4:
+            raise ValueError(f"features must have shape (N, 4, m, n), got {features.shape}")
+        return self.network(features)

@@ -1,0 +1,209 @@
+"""Training loop for the worst-case noise prediction model (Sec. 3.4.4).
+
+The trainer consumes a labelled :class:`~repro.workloads.dataset.NoiseDataset`
+plus a train/validation/test split (usually produced by the training-set
+expansion strategy), fits the feature normaliser on the training partition,
+and optimises the model with Adam on the L1 loss of the normalised noise
+maps.  Early stopping tracks the validation loss and the best-epoch weights
+are restored at the end.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ModelConfig, TrainingConfig
+from repro.core.model import WorstCaseNoiseNet
+from repro.features.extraction import FeatureNormalizer, fit_normalizer
+from repro.nn import Adam, huber_loss, l1_loss, mse_loss, no_grad
+from repro.pdn.designs import Design
+from repro.utils import Timer, get_logger
+from repro.utils.random import ensure_rng
+from repro.workloads.dataset import DatasetSplit, NoiseDataset, expansion_split
+
+_LOG = get_logger("core.training")
+
+_LOSSES = {"l1": l1_loss, "mse": mse_loss, "huber": huber_loss}
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves and the early-stopping bookmark."""
+
+    train_loss: list[float] = field(default_factory=list)
+    validation_loss: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    best_validation_loss: float = float("inf")
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+
+@dataclass
+class TrainingResult:
+    """Everything the inference side needs after training."""
+
+    model: WorstCaseNoiseNet
+    normalizer: FeatureNormalizer
+    history: TrainingHistory
+    split: DatasetSplit
+
+
+class NoiseModelTrainer:
+    """Trains a :class:`WorstCaseNoiseNet` on a labelled dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Labelled dataset (current maps, distance tensor, ground-truth maps).
+    design:
+        The design the dataset was built from (provides Vdd and die size for
+        normalisation).  Optional — when omitted, normalisation scales are
+        derived from the dataset alone.
+    split:
+        Train/validation/test indices; computed with the expansion strategy
+        when omitted.
+    model_config / training_config:
+        Hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        dataset: NoiseDataset,
+        design: Optional[Design] = None,
+        split: Optional[DatasetSplit] = None,
+        model_config: ModelConfig = ModelConfig(),
+        training_config: TrainingConfig = TrainingConfig(),
+    ):
+        if len(dataset) < 3:
+            raise ValueError("training requires at least 3 samples")
+        self.dataset = dataset
+        self.design = design
+        self.model_config = model_config
+        self.training_config = training_config
+        self.split = split if split is not None else expansion_split(
+            dataset, seed=training_config.seed
+        )
+        self.normalizer = self._fit_normalizer()
+        self.model = WorstCaseNoiseNet(num_bumps=dataset.num_bumps, config=model_config)
+
+    # ------------------------------------------------------------------ #
+    # setup helpers
+    # ------------------------------------------------------------------ #
+
+    def _fit_normalizer(self) -> FeatureNormalizer:
+        """Fit feature scales on the training partition only (no leakage)."""
+        train_samples = [self.dataset.samples[i] for i in self.split.train]
+        current_stack = np.concatenate(
+            [sample.features.current_maps for sample in train_samples], axis=0
+        )
+        noise_stack = np.stack([sample.target for sample in train_samples])
+        if self.design is not None:
+            return fit_normalizer(self.design, current_stack, noise_stack)
+        diagonal = float(np.max(self.dataset.distance)) or 1.0
+        positive = current_stack[current_stack > 0]
+        return FeatureNormalizer(
+            current_scale=float(np.percentile(positive, 99.0)) if positive.size else 1.0,
+            distance_scale=diagonal,
+            noise_scale=float(np.percentile(noise_stack, 99.0)) or 1.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
+    def _loss_function(self):
+        return _LOSSES[self.training_config.loss]
+
+    def _sample_loss(self, index: int, normalized_distance: np.ndarray):
+        """Forward pass plus loss for one sample (returns the loss tensor)."""
+        sample = self.dataset.samples[index]
+        current = self.normalizer.normalize_currents(sample.features.current_maps)
+        target = self.normalizer.normalize_noise(sample.target)
+        prediction = self.model(current, normalized_distance)
+        return self._loss_function()(prediction, target)
+
+    def _evaluate_loss(self, indices: np.ndarray, normalized_distance: np.ndarray) -> float:
+        """Mean loss over a partition without recording gradients."""
+        if len(indices) == 0:
+            return float("nan")
+        total = 0.0
+        with no_grad():
+            for index in indices:
+                total += self._sample_loss(int(index), normalized_distance).item()
+        return total / len(indices)
+
+    def train(self) -> TrainingResult:
+        """Run the full training loop and return the best model."""
+        config = self.training_config
+        rng = ensure_rng(config.seed)
+        optimizer = Adam(
+            self.model.parameters(),
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        normalized_distance = self.normalizer.normalize_distance(self.dataset.distance)
+        history = TrainingHistory()
+        best_state = self.model.state_dict()
+        epochs_without_improvement = 0
+        timer = Timer()
+
+        with timer.measure():
+            for epoch in range(config.epochs):
+                train_indices = np.array(self.split.train, dtype=int)
+                if config.shuffle:
+                    rng.shuffle(train_indices)
+
+                epoch_loss = 0.0
+                for start in range(0, len(train_indices), config.batch_size):
+                    batch = train_indices[start:start + config.batch_size]
+                    optimizer.zero_grad()
+                    batch_loss = None
+                    for index in batch:
+                        loss = self._sample_loss(int(index), normalized_distance)
+                        batch_loss = loss if batch_loss is None else batch_loss + loss
+                    batch_loss = batch_loss * (1.0 / len(batch))
+                    batch_loss.backward()
+                    optimizer.step()
+                    epoch_loss += batch_loss.item() * len(batch)
+                epoch_loss /= len(train_indices)
+
+                validation_loss = self._evaluate_loss(self.split.validation, normalized_distance)
+                history.train_loss.append(epoch_loss)
+                history.validation_loss.append(validation_loss)
+
+                monitored = validation_loss if np.isfinite(validation_loss) else epoch_loss
+                if monitored < history.best_validation_loss - config.early_stopping_min_delta:
+                    history.best_validation_loss = monitored
+                    history.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+
+                if epoch % config.log_every == 0:
+                    _LOG.info(
+                        "epoch %d: train %.5f, val %.5f", epoch, epoch_loss, validation_loss
+                    )
+                if (
+                    config.early_stopping_patience is not None
+                    and epochs_without_improvement >= config.early_stopping_patience
+                ):
+                    _LOG.info("early stopping at epoch %d", epoch)
+                    break
+
+        self.model.load_state_dict(best_state)
+        history.wall_clock_seconds = timer.total
+        return TrainingResult(
+            model=self.model,
+            normalizer=self.normalizer,
+            history=history,
+            split=self.split,
+        )

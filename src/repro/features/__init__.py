@@ -1,0 +1,50 @@
+"""Feature pipeline: spatial tiling, temporal compression, feature extraction.
+
+Implements Sec. 3.2 and 3.3 of the paper: the spatial compression of the PDN
+into an ``m x n`` tile array, Algorithm 1's temporal compression of the
+current vector, and the two-feature extraction (load-current maps and
+distance-to-bump tensor) together with the normalisation applied before the
+CNN.
+"""
+
+from repro.features.spatial import (
+    average_current_map,
+    load_current_maps,
+    node_noise_to_tile_map,
+    tile_incidence_matrix,
+    tile_load_count_map,
+    tile_nominal_current_map,
+)
+from repro.features.temporal import (
+    TemporalCompressionResult,
+    compress_current_maps,
+    compress_trace,
+)
+from repro.features.extraction import (
+    FeatureNormalizer,
+    VectorFeatures,
+    current_summary_maps,
+    distance_feature,
+    extract_vector_features,
+    fit_normalizer,
+    normalized_distance_feature,
+)
+
+__all__ = [
+    "load_current_maps",
+    "average_current_map",
+    "node_noise_to_tile_map",
+    "tile_incidence_matrix",
+    "tile_load_count_map",
+    "tile_nominal_current_map",
+    "TemporalCompressionResult",
+    "compress_current_maps",
+    "compress_trace",
+    "FeatureNormalizer",
+    "VectorFeatures",
+    "current_summary_maps",
+    "distance_feature",
+    "extract_vector_features",
+    "fit_normalizer",
+    "normalized_distance_feature",
+]

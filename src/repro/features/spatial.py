@@ -1,0 +1,87 @@
+"""Spatial compression: from per-instance quantities to per-tile feature maps.
+
+Sec. 3.2 of the paper replaces per-node prediction by per-tile prediction:
+the layout is partitioned into an ``m x n`` tile array, instance currents are
+summed per tile to form the load-current feature map, and the per-tile
+worst-case noise is the maximum over the nodes inside the tile (Eq. 2).
+This module implements those aggregations with a sparse incidence matrix so
+that a whole trace is tiled in one sparse-matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.pdn.designs import Design
+from repro.sim.waveform import CurrentTrace, per_tile_maximum
+
+
+def tile_incidence_matrix(tile_index: np.ndarray, num_tiles: int) -> sp.csr_matrix:
+    """Sparse one-hot matrix mapping items to tiles.
+
+    ``incidence[item, tile] = 1`` when ``tile_index[item] == tile``; summing
+    item values per tile is then a single sparse product
+    ``values @ incidence``.
+    """
+    tile_index = np.asarray(tile_index, dtype=int)
+    if tile_index.ndim != 1:
+        raise ValueError(f"tile_index must be 1-D, got shape {tile_index.shape}")
+    if tile_index.size and (tile_index.min() < 0 or tile_index.max() >= num_tiles):
+        raise ValueError("tile_index entries out of range")
+    num_items = tile_index.shape[0]
+    data = np.ones(num_items)
+    return sp.coo_matrix(
+        (data, (np.arange(num_items), tile_index)), shape=(num_items, num_tiles)
+    ).tocsr()
+
+
+def load_current_maps(trace: CurrentTrace, design: Design) -> np.ndarray:
+    """Per-stamp load-current tile maps, shape ``(T, m, n)``.
+
+    ``maps[k, i, j]`` is the total current (A) drawn inside tile ``(i, j)`` at
+    time stamp ``k`` — the "load current organised as a feature map" input of
+    Sec. 3.3.
+    """
+    if trace.num_loads != design.num_loads:
+        raise ValueError(
+            f"trace has {trace.num_loads} loads but design {design.name!r} has {design.num_loads}"
+        )
+    tile_grid = design.tile_grid
+    incidence = tile_incidence_matrix(design.load_tile_index, tile_grid.num_tiles)
+    tiled = trace.currents @ incidence  # (T, num_tiles)
+    return np.asarray(tiled).reshape(trace.num_steps, tile_grid.m, tile_grid.n)
+
+
+def average_current_map(trace: CurrentTrace, design: Design) -> np.ndarray:
+    """Time-averaged load-current tile map, shape ``(m, n)``.
+
+    Used by the static-IR baseline and by feature-ablation studies.
+    """
+    maps = load_current_maps(trace, design)
+    return maps.mean(axis=0)
+
+
+def node_noise_to_tile_map(node_noise: np.ndarray, design: Design) -> np.ndarray:
+    """Reduce per-die-node worst-case droop to the per-tile map of Eq. 2."""
+    node_noise = np.asarray(node_noise, dtype=float)
+    expected = design.node_tile_index.shape
+    if node_noise.shape != expected:
+        raise ValueError(
+            f"node_noise must have shape {expected} (one entry per die node), got {node_noise.shape}"
+        )
+    tile_values = per_tile_maximum(node_noise, design.node_tile_index, design.tile_grid.num_tiles)
+    return tile_values.reshape(design.tile_grid.shape)
+
+
+def tile_load_count_map(design: Design) -> np.ndarray:
+    """Number of loads per tile, shape ``(m, n)`` (useful diagnostic feature)."""
+    counts = np.bincount(design.load_tile_index, minlength=design.tile_grid.num_tiles)
+    return counts.reshape(design.tile_grid.shape).astype(float)
+
+
+def tile_nominal_current_map(design: Design) -> np.ndarray:
+    """Nominal (average) current per tile, shape ``(m, n)``."""
+    totals = np.zeros(design.tile_grid.num_tiles)
+    np.add.at(totals, design.load_tile_index, design.loads.nominal_currents)
+    return totals.reshape(design.tile_grid.shape)

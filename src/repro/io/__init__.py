@@ -1,0 +1,21 @@
+"""Result records, export helpers, and text renderings of maps/figures."""
+
+from repro.io.results import (
+    ExperimentRecord,
+    ascii_heatmap,
+    ascii_histogram,
+    format_table,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "ascii_heatmap",
+    "ascii_histogram",
+    "format_table",
+    "read_json",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,68 @@
+"""A compact numpy-only deep-learning library.
+
+PyTorch (the paper's framework) is unavailable offline, so this subpackage
+provides the pieces the paper's model needs: an autograd tensor, Conv2d /
+ConvTranspose2d with replication or zero padding, ReLU, L1/MSE/Huber losses,
+SGD/Adam optimisers, batching helpers and checkpointing.  Every operator's
+gradient is validated against numerical differentiation in the test suite.
+"""
+
+from repro.nn.tensor import Tensor, as_tensor, cat, stack, no_grad
+from repro.nn.conv import (
+    PADDING_MODES,
+    conv2d,
+    conv_transpose2d,
+    conv_output_size,
+    conv_transpose_output_size,
+    im2col,
+    col2im,
+)
+from repro.nn.modules import (
+    Conv2d,
+    ConvTranspose2d,
+    Identity,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+from repro.nn.losses import huber_loss, l1_loss, mse_loss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.data import ArrayDataset, BatchIterator
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn import init
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "cat",
+    "stack",
+    "no_grad",
+    "PADDING_MODES",
+    "conv2d",
+    "conv_transpose2d",
+    "conv_output_size",
+    "conv_transpose_output_size",
+    "im2col",
+    "col2im",
+    "Conv2d",
+    "ConvTranspose2d",
+    "Identity",
+    "Linear",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "l1_loss",
+    "mse_loss",
+    "huber_loss",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "ArrayDataset",
+    "BatchIterator",
+    "load_checkpoint",
+    "save_checkpoint",
+    "init",
+]

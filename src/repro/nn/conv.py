@@ -1,0 +1,277 @@
+"""Convolution primitives: im2col/col2im, Conv2d and ConvTranspose2d.
+
+The paper's three subnets are built from strided convolutions (downsampling),
+strided transposed convolutions (upsampling), and stride-1 convolutions with
+*replication* padding for conv layers and *zero* padding for deconv layers
+(Sec. 3.4.1).  These primitives are implemented with the standard
+im2col/col2im formulation so that the heavy lifting is a single matrix
+product per layer, and both directions (forward and gradient) share the same
+two routines.
+
+Array layout is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Context, Function, Tensor
+
+#: Padding modes supported by :class:`Conv2dFunction`.
+PADDING_MODES = ("zeros", "replicate")
+
+
+def pad_input(x: np.ndarray, padding: int, mode: str) -> np.ndarray:
+    """Pad the two spatial axes of an NCHW array."""
+    if padding == 0:
+        return x
+    if mode == "zeros":
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    if mode == "replicate":
+        return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="edge")
+    raise ValueError(f"unknown padding mode {mode!r}; expected one of {PADDING_MODES}")
+
+
+def unpad_gradient(grad_padded: np.ndarray, padding: int, mode: str) -> np.ndarray:
+    """Adjoint of :func:`pad_input`: fold border gradients back into the crop."""
+    if padding == 0:
+        return grad_padded
+    core = grad_padded[:, :, padding:-padding, padding:-padding].copy()
+    if mode == "zeros":
+        return core
+    if mode == "replicate":
+        # Replication padding copies edge pixels outward, so the adjoint adds
+        # the border gradients back onto the edge rows/columns they came from.
+        top = grad_padded[:, :, :padding, padding:-padding].sum(axis=2)
+        bottom = grad_padded[:, :, -padding:, padding:-padding].sum(axis=2)
+        core[:, :, 0, :] += top
+        core[:, :, -1, :] += bottom
+        left = grad_padded[:, :, padding:-padding, :padding].sum(axis=3)
+        right = grad_padded[:, :, padding:-padding, -padding:].sum(axis=3)
+        core[:, :, :, 0] += left
+        core[:, :, :, -1] += right
+        # The four corner blocks replicate the corner pixels.
+        core[:, :, 0, 0] += grad_padded[:, :, :padding, :padding].sum(axis=(2, 3))
+        core[:, :, 0, -1] += grad_padded[:, :, :padding, -padding:].sum(axis=(2, 3))
+        core[:, :, -1, 0] += grad_padded[:, :, -padding:, :padding].sum(axis=(2, 3))
+        core[:, :, -1, -1] += grad_padded[:, :, -padding:, -padding:].sum(axis=(2, 3))
+        return core
+    raise ValueError(f"unknown padding mode {mode!r}; expected one of {PADDING_MODES}")
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def conv_transpose_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a transposed convolution."""
+    return (size - 1) * stride - 2 * padding + kernel
+
+
+def im2col(x_padded: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Unfold sliding windows into columns.
+
+    Parameters
+    ----------
+    x_padded:
+        Padded input, shape ``(N, C, H, W)``.
+    kernel / stride:
+        Square kernel size and stride.
+
+    Returns
+    -------
+    Array of shape ``(N, C * kernel * kernel, OH * OW)``.
+    """
+    batch, channels, height, width = x_padded.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x_padded, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, OH, OW, k, k)
+    columns = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kernel * kernel, out_h * out_w
+    )
+    return np.ascontiguousarray(columns)
+
+
+def col2im(
+    columns: np.ndarray,
+    padded_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back into an array."""
+    batch, channels, height, width = padded_shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    columns = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    output = np.zeros(padded_shape, dtype=columns.dtype)
+    for row_offset in range(kernel):
+        row_end = row_offset + stride * out_h
+        for col_offset in range(kernel):
+            col_end = col_offset + stride * out_w
+            output[:, :, row_offset:row_end:stride, col_offset:col_end:stride] += columns[
+                :, :, row_offset, col_offset, :, :
+            ]
+    return output
+
+
+class Conv2dFunction(Function):
+    """2-D convolution (NCHW) with stride, padding and padding-mode support."""
+
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        stride: int = 1,
+        padding: int = 0,
+        padding_mode: str = "zeros",
+    ) -> np.ndarray:
+        out_channels, in_channels, kernel, _ = weight.shape
+        if x.ndim != 4 or x.shape[1] != in_channels:
+            raise ValueError(
+                f"input shape {x.shape} incompatible with weight shape {weight.shape}"
+            )
+        x_padded = pad_input(x, padding, padding_mode)
+        columns = im2col(x_padded, kernel, stride)
+        weight_matrix = weight.reshape(out_channels, -1)
+        output = np.einsum("of,nfp->nop", weight_matrix, columns, optimize=True)
+        out_h = conv_output_size(x.shape[2], kernel, stride, padding)
+        out_w = conv_output_size(x.shape[3], kernel, stride, padding)
+        output = output.reshape(x.shape[0], out_channels, out_h, out_w)
+        if bias is not None:
+            output = output + bias.reshape(1, -1, 1, 1)
+        ctx.save(columns, weight, x_padded.shape)
+        ctx.attrs.update(
+            stride=stride,
+            padding=padding,
+            padding_mode=padding_mode,
+            has_bias=bias is not None,
+            input_shape=x.shape,
+        )
+        return output
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        columns, weight, padded_shape = ctx.saved
+        stride = ctx.attrs["stride"]
+        padding = ctx.attrs["padding"]
+        padding_mode = ctx.attrs["padding_mode"]
+        out_channels, in_channels, kernel, _ = weight.shape
+
+        batch = grad.shape[0]
+        grad_flat = grad.reshape(batch, out_channels, -1)  # (N, O, OH*OW)
+
+        weight_matrix = weight.reshape(out_channels, -1)
+        grad_weight = np.einsum("nop,nfp->of", grad_flat, columns, optimize=True).reshape(
+            weight.shape
+        )
+        grad_bias = grad_flat.sum(axis=(0, 2)) if ctx.attrs["has_bias"] else None
+
+        grad_columns = np.einsum("of,nop->nfp", weight_matrix, grad_flat, optimize=True)
+        grad_padded = col2im(grad_columns, padded_shape, kernel, stride)
+        grad_input = unpad_gradient(grad_padded, padding, padding_mode)
+        return grad_input, grad_weight, grad_bias
+
+
+class ConvTranspose2dFunction(Function):
+    """2-D transposed convolution (NCHW), the adjoint of :class:`Conv2dFunction`.
+
+    Weight layout follows the PyTorch convention ``(C_in, C_out, k, k)``.
+    Only zero padding is supported, matching the paper's deconvolution layers.
+    """
+
+    @staticmethod
+    def forward(
+        ctx: Context,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> np.ndarray:
+        in_channels, out_channels, kernel, _ = weight.shape
+        if x.ndim != 4 or x.shape[1] != in_channels:
+            raise ValueError(
+                f"input shape {x.shape} incompatible with weight shape {weight.shape}"
+            )
+        batch, _, in_h, in_w = x.shape
+        out_h = conv_transpose_output_size(in_h, kernel, stride, padding)
+        out_w = conv_transpose_output_size(in_w, kernel, stride, padding)
+        padded_shape = (batch, out_channels, out_h + 2 * padding, out_w + 2 * padding)
+
+        x_flat = x.reshape(batch, in_channels, in_h * in_w)
+        weight_matrix = weight.reshape(in_channels, out_channels * kernel * kernel)
+        columns = np.einsum("if,nip->nfp", weight_matrix, x_flat, optimize=True)
+        output_padded = col2im(columns, padded_shape, kernel, stride)
+        if padding > 0:
+            output = output_padded[:, :, padding:-padding, padding:-padding]
+        else:
+            output = output_padded
+        if bias is not None:
+            output = output + bias.reshape(1, -1, 1, 1)
+        ctx.save(x_flat, weight, padded_shape)
+        ctx.attrs.update(
+            stride=stride, padding=padding, has_bias=bias is not None, input_shape=x.shape
+        )
+        return np.ascontiguousarray(output)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        x_flat, weight, padded_shape = ctx.saved
+        stride = ctx.attrs["stride"]
+        padding = ctx.attrs["padding"]
+        in_channels, out_channels, kernel, _ = weight.shape
+        batch = grad.shape[0]
+
+        if padding > 0:
+            grad_padded = np.zeros(padded_shape, dtype=grad.dtype)
+            grad_padded[:, :, padding:-padding, padding:-padding] = grad
+        else:
+            grad_padded = grad
+        grad_columns = im2col(grad_padded, kernel, stride)  # (N, O*k*k, H*W)
+
+        weight_matrix = weight.reshape(in_channels, out_channels * kernel * kernel)
+        grad_x = np.einsum("if,nfp->nip", weight_matrix, grad_columns, optimize=True)
+        grad_x = grad_x.reshape(ctx.attrs["input_shape"])
+
+        grad_weight = np.einsum("nip,nfp->if", x_flat, grad_columns, optimize=True).reshape(
+            weight.shape
+        )
+        grad_bias = grad.sum(axis=(0, 2, 3)) if ctx.attrs["has_bias"] else None
+        return grad_x, grad_weight, grad_bias
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+    padding_mode: str = "zeros",
+) -> Tensor:
+    """Functional 2-D convolution on :class:`~repro.nn.tensor.Tensor` inputs."""
+    if bias is None:
+        return Conv2dFunction.apply(
+            x, weight, stride=stride, padding=padding, padding_mode=padding_mode
+        )
+    return Conv2dFunction.apply(
+        x, weight, bias, stride=stride, padding=padding, padding_mode=padding_mode
+    )
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """Functional 2-D transposed convolution on :class:`Tensor` inputs."""
+    if bias is None:
+        return ConvTranspose2dFunction.apply(x, weight, stride=stride, padding=padding)
+    return ConvTranspose2dFunction.apply(x, weight, bias, stride=stride, padding=padding)

@@ -1,0 +1,65 @@
+"""Minimal dataset / batching utilities used by the training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.random import RandomState, ensure_rng
+
+
+class ArrayDataset:
+    """A dataset of parallel arrays (all indexed along axis 0)."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("at least one array is required")
+        lengths = {np.asarray(array).shape[0] for array in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"all arrays must share the first dimension, got lengths {lengths}")
+        self.arrays = tuple(np.asarray(array) for array in arrays)
+
+    def __len__(self) -> int:
+        return self.arrays[0].shape[0]
+
+    def __getitem__(self, index) -> tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+
+class BatchIterator:
+    """Iterate a dataset in (optionally shuffled) mini-batches.
+
+    Unlike a full dataloader there is no worker machinery: the datasets in
+    this project comfortably fit in memory.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 8,
+        shuffle: bool = True,
+        seed: RandomState = None,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = ensure_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        return full if (self.drop_last or remainder == 0) else full + 1
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            if self.drop_last and batch.shape[0] < self.batch_size:
+                return
+            yield self.dataset[batch]

@@ -1,0 +1,35 @@
+"""Parameter initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.random import RandomState, ensure_rng
+
+
+def kaiming_uniform(shape: tuple[int, ...], fan_in: int, seed: RandomState = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation, the right choice for ReLU networks.
+
+    Samples from ``U(-bound, bound)`` with ``bound = sqrt(6 / fan_in)``.
+    """
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    rng = ensure_rng(seed)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, seed: RandomState = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for linear (non-ReLU) layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    rng = ensure_rng(seed)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)

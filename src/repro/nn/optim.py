@@ -1,0 +1,112 @@
+"""Optimisers.
+
+The paper trains with Adam at a learning rate of 1e-4 (Sec. 3.4.4); plain SGD
+with momentum is included for ablations and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+from repro.utils import check_positive
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter]):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        check_positive(learning_rate, "learning_rate")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            velocity *= self.momentum
+            velocity += gradient
+            parameter.data = parameter.data - self.learning_rate * velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser [Kingma & Ba, 2015] — the paper's training optimiser."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        check_positive(learning_rate, "learning_rate")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        check_positive(epsilon, "epsilon")
+        self.learning_rate = learning_rate
+        self.betas = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+        self._second_moment = [np.zeros_like(parameter.data) for parameter in self.parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update using the currently accumulated gradients."""
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias_correction1 = 1.0 - beta1**self._step_count
+        bias_correction2 = 1.0 - beta2**self._step_count
+        for parameter, first, second in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            first *= beta1
+            first += (1.0 - beta1) * gradient
+            second *= beta2
+            second += (1.0 - beta2) * gradient * gradient
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.data = parameter.data - self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.epsilon
+            )

@@ -1,0 +1,47 @@
+"""Checkpoint save / load for :class:`~repro.nn.modules.Module` models.
+
+Checkpoints are plain ``.npz`` archives: one array per parameter keyed by its
+qualified name, plus optional JSON-encoded metadata (e.g. the feature
+normaliser or training configuration).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+_METADATA_KEY = "__metadata_json__"
+
+
+def save_checkpoint(
+    module: Module,
+    path: Union[str, Path],
+    metadata: Optional[dict] = None,
+) -> None:
+    """Save a module's parameters (and optional metadata) to ``path``."""
+    payload = {name: value for name, value in module.state_dict().items()}
+    if metadata is not None:
+        payload[_METADATA_KEY] = np.array(json.dumps(metadata))
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(
+    module: Module,
+    path: Union[str, Path],
+) -> Optional[dict]:
+    """Load parameters saved by :func:`save_checkpoint` into ``module``.
+
+    Returns the metadata dictionary when one was stored, else ``None``.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        state = {key: data[key] for key in data.files if key != _METADATA_KEY}
+        metadata = None
+        if _METADATA_KEY in data.files:
+            metadata = json.loads(str(data[_METADATA_KEY]))
+    module.load_state_dict(state)
+    return metadata

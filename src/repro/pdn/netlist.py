@@ -1,0 +1,226 @@
+"""SPICE-style netlist export and import for power grids.
+
+Commercial PDN flows exchange the extracted grid as a (huge) SPICE deck.  To
+make the synthetic designs inspectable with standard circuit tools — and to
+give the test suite a round-trip check on the electrical model — this module
+writes and reads a conventional subset of SPICE:
+
+* ``R<name> <node+> <node-> <value>`` resistors,
+* ``C<name> <node+> 0 <value>`` grounded capacitors,
+* ``L<name> <node+> <node-> <value>`` inductors,
+* ``I<name> <node+> 0 <value>`` DC current loads (nominal currents),
+* ``*`` comment lines carrying bump/load/metadata annotations.
+
+Node ``0`` is the reference (ideal supply in the droop frame).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from repro.pdn.stamps import REFERENCE_NODE, MNASystem
+
+
+@dataclass
+class Netlist:
+    """Parsed flat netlist (element lists with integer node ids).
+
+    Node ``0`` is the reference; internal nodes are numbered from 1 in the
+    file but stored zero-based here (file node ``k`` maps to ``k - 1``),
+    with the reference represented by :data:`REFERENCE_NODE`.
+    """
+
+    num_nodes: int = 0
+    res_a: list[int] = field(default_factory=list)
+    res_b: list[int] = field(default_factory=list)
+    res_value: list[float] = field(default_factory=list)
+    cap_node: list[int] = field(default_factory=list)
+    cap_value: list[float] = field(default_factory=list)
+    ind_a: list[int] = field(default_factory=list)
+    ind_b: list[int] = field(default_factory=list)
+    ind_value: list[float] = field(default_factory=list)
+    load_node: list[int] = field(default_factory=list)
+    load_value: list[float] = field(default_factory=list)
+
+    @property
+    def num_resistors(self) -> int:
+        """Number of resistor elements."""
+        return len(self.res_value)
+
+    @property
+    def num_capacitors(self) -> int:
+        """Number of capacitor elements."""
+        return len(self.cap_value)
+
+    @property
+    def num_inductors(self) -> int:
+        """Number of inductor elements."""
+        return len(self.ind_value)
+
+    @property
+    def num_loads(self) -> int:
+        """Number of current-source elements."""
+        return len(self.load_value)
+
+
+def _file_node(index: int) -> str:
+    """Map an internal node index to its name in the netlist file."""
+    return "0" if index == REFERENCE_NODE else str(index + 1)
+
+
+def _internal_node(token: str) -> int:
+    """Map a netlist node name back to the internal index."""
+    value = int(token)
+    return REFERENCE_NODE if value == 0 else value - 1
+
+
+def write_netlist(
+    mna: MNASystem,
+    destination: Union[str, Path, TextIO],
+    nominal_load_currents: Optional[np.ndarray] = None,
+    title: str = "repro PDN netlist",
+) -> None:
+    """Write an :class:`~repro.pdn.stamps.MNASystem` as a SPICE-style deck.
+
+    Resistive elements are recovered from the assembled conductance matrix
+    (upper triangle for node-to-node, diagonal surplus for node-to-reference),
+    so the file describes exactly the electrical system the simulator solves.
+    """
+    close = False
+    if isinstance(destination, (str, Path)):
+        handle: TextIO = open(destination, "w", encoding="utf-8")
+        close = True
+    else:
+        handle = destination
+    try:
+        _write_netlist_to(handle, mna, nominal_load_currents, title)
+    finally:
+        if close:
+            handle.close()
+
+
+def _write_netlist_to(
+    out: TextIO,
+    mna: MNASystem,
+    nominal_load_currents: Optional[np.ndarray],
+    title: str,
+) -> None:
+    """Write the deck body (see :func:`write_netlist`)."""
+    coo = mna.conductance.tocoo()
+    out.write(f"* {title}\n")
+    out.write(f"* nodes={mna.num_nodes} die_nodes={mna.num_die_nodes}\n")
+
+    # Node-to-node resistors from the strict upper triangle.
+    element = 0
+    upper = coo.row < coo.col
+    offdiag_rows = coo.row[upper]
+    offdiag_cols = coo.col[upper]
+    offdiag_vals = coo.data[upper]
+    # Accumulate the total off-diagonal conductance per node so we can
+    # recover the to-reference conductance from the diagonal.
+    to_ref = np.zeros(mna.num_nodes)
+    diag = np.zeros(mna.num_nodes)
+    full_off = coo.row != coo.col
+    np.add.at(to_ref, coo.row[full_off], coo.data[full_off])
+    diag_mask = coo.row == coo.col
+    np.add.at(diag, coo.row[diag_mask], coo.data[diag_mask])
+    ref_conductance = diag + to_ref  # off-diagonal entries are negative
+
+    for a, b, g in zip(offdiag_rows, offdiag_cols, offdiag_vals):
+        conductance = -g
+        if conductance <= 0:
+            continue
+        out.write(f"R{element} {_file_node(int(a))} {_file_node(int(b))} {1.0 / conductance:.6e}\n")
+        element += 1
+    for node, g in enumerate(ref_conductance):
+        if g > 1e-12:
+            out.write(f"R{element} {_file_node(node)} 0 {1.0 / g:.6e}\n")
+            element += 1
+
+    for index, (node, value) in enumerate(zip(range(mna.num_nodes), mna.cap_diag)):
+        if value > 0:
+            out.write(f"C{index} {_file_node(node)} 0 {value:.6e}\n")
+
+    for index, (a, b, value) in enumerate(zip(mna.ind_a, mna.ind_b, mna.ind_value)):
+        out.write(f"L{index} {_file_node(int(a))} {_file_node(int(b))} {value:.6e}\n")
+
+    currents = nominal_load_currents
+    if currents is None:
+        currents = np.zeros(mna.num_loads)
+    for index, (node, value) in enumerate(zip(mna.load_nodes, currents)):
+        out.write(f"I{index} {_file_node(int(node))} 0 {value:.6e}\n")
+    out.write(".end\n")
+
+
+def netlist_to_string(mna: MNASystem, nominal_load_currents: Optional[np.ndarray] = None) -> str:
+    """Return the SPICE deck as a string (convenience wrapper)."""
+    buffer = io.StringIO()
+    write_netlist(mna, buffer, nominal_load_currents)
+    return buffer.getvalue()
+
+
+def read_netlist(source: Union[str, Path, TextIO]) -> Netlist:
+    """Parse a SPICE-style deck written by :func:`write_netlist`.
+
+    Only the subset produced by :func:`write_netlist` is supported; unknown
+    cards raise ``ValueError`` so silent mis-parses cannot happen.
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        handle = source
+    try:
+        return _read_netlist_from(handle)
+    finally:
+        if close:
+            handle.close()
+
+
+def _read_netlist_from(handle: TextIO) -> Netlist:
+    """Parse the deck body (see :func:`read_netlist`)."""
+    netlist = Netlist()
+    max_node = -1
+    for raw_line in handle:
+        line = raw_line.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.lower() == ".end":
+            break
+        tokens = line.split()
+        if len(tokens) != 4:
+            raise ValueError(f"malformed netlist card: {line!r}")
+        card, node_a, node_b, value_text = tokens
+        kind = card[0].upper()
+        a = _internal_node(node_a)
+        b = _internal_node(node_b)
+        value = float(value_text)
+        max_node = max(max_node, a, b)
+        if kind == "R":
+            netlist.res_a.append(a)
+            netlist.res_b.append(b)
+            netlist.res_value.append(value)
+        elif kind == "C":
+            if b != REFERENCE_NODE:
+                raise ValueError(f"only grounded capacitors are supported: {line!r}")
+            netlist.cap_node.append(a)
+            netlist.cap_value.append(value)
+        elif kind == "L":
+            netlist.ind_a.append(a)
+            netlist.ind_b.append(b)
+            netlist.ind_value.append(value)
+        elif kind == "I":
+            if b != REFERENCE_NODE:
+                raise ValueError(f"only grounded current sources are supported: {line!r}")
+            netlist.load_node.append(a)
+            netlist.load_value.append(value)
+        else:
+            raise ValueError(f"unsupported netlist card type {kind!r} in line {line!r}")
+    netlist.num_nodes = max_node + 1
+    return netlist

@@ -1,0 +1,58 @@
+"""PDN simulation engine.
+
+This subpackage is the reproduction's substitute for the commercial PDN
+sign-off tool: sparse linear solvers, static IR analysis, a transient engine
+with companion models for decap and package inductance, the worst-case
+dynamic noise analysis that produces the ground-truth tile maps, and the
+classical multigrid / random-walk solvers the paper cites as conventional
+alternatives.
+"""
+
+from repro.sim.linear import (
+    CholeskySolver,
+    ConjugateGradientSolver,
+    DirectSolver,
+    LinearSolver,
+    make_solver,
+    solver_names,
+)
+from repro.sim.multigrid import MultigridSolver
+from repro.sim.random_walk import RandomWalkEstimate, RandomWalkSolver
+from repro.sim.static_ir import StaticIRAnalysis, StaticIRResult, run_static_analysis
+from repro.sim.transient import (
+    INTEGRATION_METHODS,
+    TransientEngine,
+    TransientOptions,
+    TransientResult,
+)
+from repro.sim.dynamic_noise import (
+    DynamicNoiseAnalysis,
+    DynamicNoiseResult,
+    worst_case_summary,
+)
+from repro.sim.waveform import CurrentTrace, VoltageWaveform, per_tile_maximum
+
+__all__ = [
+    "LinearSolver",
+    "DirectSolver",
+    "CholeskySolver",
+    "ConjugateGradientSolver",
+    "MultigridSolver",
+    "RandomWalkSolver",
+    "RandomWalkEstimate",
+    "make_solver",
+    "solver_names",
+    "StaticIRAnalysis",
+    "StaticIRResult",
+    "run_static_analysis",
+    "TransientEngine",
+    "TransientOptions",
+    "TransientResult",
+    "INTEGRATION_METHODS",
+    "DynamicNoiseAnalysis",
+    "DynamicNoiseResult",
+    "worst_case_summary",
+    "CurrentTrace",
+    "VoltageWaveform",
+    "per_tile_maximum",
+]

@@ -1,0 +1,231 @@
+"""Sparse linear solvers for the PDN system matrix.
+
+Dynamic PDN analysis is "a series of static analyses, where the system matrix
+is the same but with different right-hand-side items" (Sec. 2 of the paper),
+so the dominant cost is repeated solves against one SPD matrix.  This module
+provides the solver back-ends used by the static and transient engines:
+
+* :class:`DirectSolver` — sparse LU factorisation (SuperLU via scipy),
+  factorise once, solve many times; the default for sign-off accuracy.
+* :class:`CholeskySolver` — LL^T factorisation through a shifted LDL^T; kept
+  as an alternative direct method that exploits symmetry.
+* :class:`ConjugateGradientSolver` — Jacobi- or multigrid-preconditioned CG,
+  the classic iterative choice for very large grids.
+
+All solvers share the :class:`LinearSolver` interface so the simulation
+engines and the solver benchmarks can switch between them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.utils import check_finite, get_logger
+
+_LOG = get_logger("sim.linear")
+
+
+class LinearSolver(abc.ABC):
+    """A reusable solver for ``A x = b`` with a fixed sparse SPD matrix."""
+
+    def __init__(self, matrix: sp.spmatrix):
+        matrix = matrix.tocsc()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+        self._matrix = matrix
+
+    @property
+    def matrix(self) -> sp.csc_matrix:
+        """The system matrix this solver was built for."""
+        return self._matrix
+
+    @property
+    def size(self) -> int:
+        """Number of unknowns."""
+        return self._matrix.shape[0]
+
+    @abc.abstractmethod
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for a single right-hand side."""
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        """Solve for several right-hand sides stacked as columns.
+
+        The default implementation loops; direct solvers override with a
+        vectorised back-substitution.
+        """
+        rhs_matrix = np.asarray(rhs_matrix, dtype=float)
+        if rhs_matrix.ndim == 1:
+            return self.solve(rhs_matrix)
+        return np.column_stack([self.solve(rhs_matrix[:, j]) for j in range(rhs_matrix.shape[1])])
+
+    def residual_norm(self, x: np.ndarray, rhs: np.ndarray) -> float:
+        """Relative residual ``||A x - b|| / ||b||`` (0 when ``b`` is 0)."""
+        rhs_norm = np.linalg.norm(rhs)
+        if rhs_norm == 0.0:
+            return float(np.linalg.norm(self._matrix @ x))
+        return float(np.linalg.norm(self._matrix @ x - rhs) / rhs_norm)
+
+
+class DirectSolver(LinearSolver):
+    """Sparse LU (SuperLU) factorisation; factor once, solve many times."""
+
+    def __init__(self, matrix: sp.spmatrix):
+        super().__init__(matrix)
+        self._lu = spla.splu(self._matrix)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        check_finite(rhs, "rhs")
+        return self._lu.solve(rhs)
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        rhs_matrix = np.asarray(rhs_matrix, dtype=float)
+        if rhs_matrix.ndim == 1:
+            return self.solve(rhs_matrix)
+        return self._lu.solve(rhs_matrix)
+
+
+class CholeskySolver(LinearSolver):
+    """Symmetric factorisation via SuperLU on the symmetrised system.
+
+    scipy has no sparse Cholesky; we keep the symmetric permutation options of
+    SuperLU (``diag_pivot_thresh=0`` with natural symmetric mode) which, for
+    an SPD matrix, behaves like an LDL^T factorisation without pivoting.
+    """
+
+    def __init__(self, matrix: sp.spmatrix):
+        super().__init__(matrix)
+        self._lu = spla.splu(
+            self._matrix,
+            diag_pivot_thresh=0.0,
+            permc_spec="MMD_AT_PLUS_A",
+            options={"SymmetricMode": True},
+        )
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        check_finite(rhs, "rhs")
+        return self._lu.solve(rhs)
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        rhs_matrix = np.asarray(rhs_matrix, dtype=float)
+        if rhs_matrix.ndim == 1:
+            return self.solve(rhs_matrix)
+        return self._lu.solve(rhs_matrix)
+
+
+@dataclass
+class IterativeStats:
+    """Convergence bookkeeping for the most recent iterative solve."""
+
+    iterations: int = 0
+    converged: bool = True
+    residual: float = 0.0
+
+
+class ConjugateGradientSolver(LinearSolver):
+    """Preconditioned conjugate gradients.
+
+    Parameters
+    ----------
+    matrix:
+        SPD system matrix.
+    tolerance:
+        Relative residual tolerance.
+    max_iterations:
+        Iteration cap; ``None`` lets scipy pick ``10 * n``.
+    preconditioner:
+        ``"jacobi"`` (default), ``"none"``, or a callable applying ``M^{-1}``.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        tolerance: float = 1e-10,
+        max_iterations: Optional[int] = None,
+        preconditioner: str | Callable[[np.ndarray], np.ndarray] = "jacobi",
+    ):
+        super().__init__(matrix)
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.stats = IterativeStats()
+        self._preconditioner = self._build_preconditioner(preconditioner)
+
+    def _build_preconditioner(
+        self, preconditioner: str | Callable[[np.ndarray], np.ndarray]
+    ) -> Optional[spla.LinearOperator]:
+        if callable(preconditioner):
+            return spla.LinearOperator(self._matrix.shape, matvec=preconditioner)
+        if preconditioner == "none":
+            return None
+        if preconditioner == "jacobi":
+            diagonal = self._matrix.diagonal()
+            if np.any(diagonal <= 0):
+                raise ValueError("Jacobi preconditioner requires a positive diagonal")
+            inverse_diagonal = 1.0 / diagonal
+            return spla.LinearOperator(
+                self._matrix.shape, matvec=lambda vector: inverse_diagonal * vector
+            )
+        raise ValueError(f"unknown preconditioner {preconditioner!r}")
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs, dtype=float)
+        check_finite(rhs, "rhs")
+        iteration_counter = {"count": 0}
+
+        def callback(_):
+            iteration_counter["count"] += 1
+
+        solution, info = spla.cg(
+            self._matrix,
+            rhs,
+            rtol=self.tolerance,
+            maxiter=self.max_iterations,
+            M=self._preconditioner,
+            callback=callback,
+        )
+        self.stats = IterativeStats(
+            iterations=iteration_counter["count"],
+            converged=(info == 0),
+            residual=self.residual_norm(solution, rhs),
+        )
+        if info != 0:
+            _LOG.warning("CG did not converge (info=%s, residual=%.3e)", info, self.stats.residual)
+        return solution
+
+
+_SOLVER_REGISTRY: dict[str, type[LinearSolver]] = {
+    "direct": DirectSolver,
+    "cholesky": CholeskySolver,
+    "cg": ConjugateGradientSolver,
+}
+
+
+def make_solver(matrix: sp.spmatrix, method: str = "direct", **kwargs) -> LinearSolver:
+    """Create a solver by name (``"direct"``, ``"cholesky"``, ``"cg"``).
+
+    The multigrid and random-walk solvers live in their own modules and are
+    registered lazily to avoid import cycles.
+    """
+    if method == "multigrid":
+        from repro.sim.multigrid import MultigridSolver
+
+        return MultigridSolver(matrix, **kwargs)
+    try:
+        solver_class = _SOLVER_REGISTRY[method]
+    except KeyError as error:
+        known = sorted(_SOLVER_REGISTRY) + ["multigrid"]
+        raise ValueError(f"unknown solver method {method!r}; expected one of {known}") from error
+    return solver_class(matrix, **kwargs)
+
+
+def solver_names() -> tuple[str, ...]:
+    """Names accepted by :func:`make_solver`."""
+    return tuple(sorted(_SOLVER_REGISTRY)) + ("multigrid",)

@@ -1,0 +1,147 @@
+"""Random-walk power-grid solver.
+
+The random-walk method (ref. [7] of the paper) estimates the voltage of a
+*single* node without solving the whole system: starting from the node, a
+walker repeatedly moves to a neighbour with probability proportional to the
+branch conductance, collects a "reward" at every visited node proportional to
+the local injected current, and terminates when it steps onto the reference
+through a grounded branch.  The expected accumulated reward equals the node's
+droop.  Its per-node cost makes it attractive for spot checks but expensive
+for full-map extraction — exactly the trade-off the learning-based approach
+is designed to beat, so it is included as a classical baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_positive
+from repro.utils.random import RandomState, ensure_rng
+
+
+@dataclass
+class RandomWalkEstimate:
+    """Monte-Carlo estimate of one node's droop."""
+
+    node: int
+    mean: float
+    standard_error: float
+    num_walks: int
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval for the droop."""
+        return (self.mean - z * self.standard_error, self.mean + z * self.standard_error)
+
+
+class RandomWalkSolver:
+    """Monte-Carlo estimator for individual entries of ``G^{-1} b``.
+
+    Parameters
+    ----------
+    matrix:
+        SPD conductance matrix with non-positive off-diagonals (an M-matrix),
+        which every resistive grid with grounded branches satisfies.
+    rhs:
+        Injected current vector ``b``.
+    max_steps:
+        Safety cap on walk length; hitting it terminates the walk early and
+        slightly biases the estimate low (reported via ``truncated_walks``).
+    """
+
+    def __init__(self, matrix: sp.spmatrix, rhs: np.ndarray, max_steps: int = 100_000):
+        matrix = matrix.tocsr()
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got {matrix.shape}")
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (matrix.shape[0],):
+            raise ValueError("rhs length must match the matrix size")
+        check_positive(max_steps, "max_steps")
+
+        self._matrix = matrix
+        self._rhs = rhs
+        self._max_steps = int(max_steps)
+        self.truncated_walks = 0
+
+        diagonal = matrix.diagonal()
+        if np.any(diagonal <= 0):
+            raise ValueError("matrix diagonal must be strictly positive")
+        self._diagonal = diagonal
+
+        # Pre-compute the transition structure row by row.
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        self._neighbours: list[np.ndarray] = []
+        self._probabilities: list[np.ndarray] = []
+        self._termination: np.ndarray = np.zeros(matrix.shape[0])
+        for node in range(matrix.shape[0]):
+            row_slice = slice(indptr[node], indptr[node + 1])
+            cols = indices[row_slice]
+            vals = data[row_slice]
+            off = cols != node
+            neighbour_conductance = -vals[off]
+            if np.any(neighbour_conductance < -1e-15):
+                raise ValueError("matrix must have non-positive off-diagonal entries")
+            neighbour_conductance = np.clip(neighbour_conductance, 0.0, None)
+            total = diagonal[node]
+            # Probability mass not carried by neighbours corresponds to
+            # grounded conductance, i.e. termination of the walk.
+            probabilities = neighbour_conductance / total
+            self._neighbours.append(cols[off])
+            self._probabilities.append(probabilities)
+            self._termination[node] = max(0.0, 1.0 - float(np.sum(probabilities)))
+
+    def estimate_node(
+        self,
+        node: int,
+        num_walks: int = 2000,
+        seed: RandomState = None,
+    ) -> RandomWalkEstimate:
+        """Estimate the droop at ``node`` from ``num_walks`` random walks."""
+        if not 0 <= node < self._matrix.shape[0]:
+            raise ValueError(f"node {node} out of range")
+        check_positive(num_walks, "num_walks")
+        rng = ensure_rng(seed)
+
+        rewards = np.empty(num_walks)
+        for walk in range(num_walks):
+            rewards[walk] = self._single_walk(node, rng)
+        mean = float(np.mean(rewards))
+        standard_error = float(np.std(rewards, ddof=1) / np.sqrt(num_walks)) if num_walks > 1 else 0.0
+        return RandomWalkEstimate(
+            node=node, mean=mean, standard_error=standard_error, num_walks=num_walks
+        )
+
+    def _single_walk(self, start: int, rng: np.random.Generator) -> float:
+        """Accumulated reward of one walk starting at ``start``."""
+        node = start
+        reward = 0.0
+        for _ in range(self._max_steps):
+            reward += self._rhs[node] / self._diagonal[node]
+            termination = self._termination[node]
+            u = rng.random()
+            if u < termination:
+                return reward
+            probabilities = self._probabilities[node]
+            neighbours = self._neighbours[node]
+            if neighbours.size == 0:
+                return reward
+            # Sample a neighbour conditioned on not terminating.
+            u = (u - termination)
+            cumulative = np.cumsum(probabilities)
+            index = int(np.searchsorted(cumulative, u, side="right"))
+            index = min(index, neighbours.size - 1)
+            node = int(neighbours[index])
+        self.truncated_walks += 1
+        return reward
+
+    def estimate_nodes(
+        self,
+        nodes: np.ndarray,
+        num_walks: int = 2000,
+        seed: RandomState = None,
+    ) -> list[RandomWalkEstimate]:
+        """Estimate several nodes with independent walk budgets."""
+        rng = ensure_rng(seed)
+        return [self.estimate_node(int(node), num_walks, rng) for node in np.asarray(nodes)]

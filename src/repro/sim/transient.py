@@ -1,0 +1,247 @@
+"""Transient (dynamic) simulation of the PDN.
+
+This is the reproduction's stand-in for the commercial dynamic sign-off
+engine: it integrates ``C x' + G x = B i(t)`` over the test-vector trace with
+a fixed time step, using companion models for capacitors and inductors so
+that the system matrix is constant and a single sparse factorisation is
+reused for every time stamp — exactly the "series of static analyses with the
+same matrix" structure the paper describes (Sec. 2).
+
+Backward Euler (default, L-stable) and the trapezoidal rule (second-order,
+used to validate accuracy) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.pdn.stamps import INDUCTOR_SHORT_RESISTANCE, REFERENCE_NODE, MNASystem
+from repro.sim.linear import LinearSolver, make_solver
+from repro.sim.waveform import CurrentTrace, VoltageWaveform
+from repro.utils import check_positive, get_logger
+
+_LOG = get_logger("sim.transient")
+
+#: Supported integration methods.
+INTEGRATION_METHODS = ("backward_euler", "trapezoidal")
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Knobs of the transient engine.
+
+    Attributes
+    ----------
+    method:
+        ``"backward_euler"`` or ``"trapezoidal"``.
+    initial_state:
+        ``"dc"`` starts from the DC solution of the first time stamp
+        (no artificial power-on transient); ``"zero"`` starts from rest.
+    store_waveform:
+        Keep the full ``(T, N)`` droop waveform.  Worst-case noise analysis
+        only needs the running maximum, so this defaults to off.
+    solver_method:
+        Linear solver used for the (single) factorised system.
+    """
+
+    method: str = "backward_euler"
+    initial_state: str = "dc"
+    store_waveform: bool = False
+    solver_method: str = "direct"
+
+    def __post_init__(self) -> None:
+        if self.method not in INTEGRATION_METHODS:
+            raise ValueError(
+                f"unknown integration method {self.method!r}; expected one of {INTEGRATION_METHODS}"
+            )
+        if self.initial_state not in ("dc", "zero"):
+            raise ValueError(f"initial_state must be 'dc' or 'zero', got {self.initial_state!r}")
+
+
+@dataclass
+class TransientResult:
+    """Outcome of one transient run.
+
+    Attributes
+    ----------
+    max_droop_per_node:
+        Maximum droop over the whole trace for every MNA node (V).
+    final_droop:
+        Droop at the final time stamp (useful for chained traces).
+    worst_droop:
+        The single worst droop over all nodes and stamps (Eq. 1).
+    worst_time_index:
+        Time-stamp index at which ``worst_droop`` occurred.
+    num_steps / dt:
+        Trace length and step used.
+    waveform:
+        Full waveform, only when ``store_waveform`` was requested.
+    """
+
+    max_droop_per_node: np.ndarray
+    final_droop: np.ndarray
+    worst_droop: float
+    worst_time_index: int
+    num_steps: int
+    dt: float
+    waveform: Optional[VoltageWaveform] = None
+
+
+class TransientEngine:
+    """Reusable transient integrator bound to one MNA system and time step.
+
+    Building the engine factorises the companion-model system matrix; calling
+    :meth:`run` with different current traces reuses that factorisation, which
+    is how repeated worst-case validations amortise their cost.
+    """
+
+    def __init__(
+        self,
+        mna: MNASystem,
+        dt: float,
+        options: TransientOptions = TransientOptions(),
+    ):
+        check_positive(dt, "dt")
+        self._mna = mna
+        self._dt = dt
+        self._options = options
+
+        if options.method == "backward_euler":
+            cap_factor = 1.0
+            ind_factor = 1.0
+        else:  # trapezoidal
+            cap_factor = 2.0
+            ind_factor = 0.5
+
+        self._cap_companion = cap_factor * mna.cap_diag / dt
+        if mna.num_inductors:
+            self._ind_companion = ind_factor * dt / mna.ind_value
+        else:
+            self._ind_companion = np.empty(0)
+
+        system = mna.conductance_with_inductor_branches(self._ind_companion)
+        system = system + sp.diags(self._cap_companion, format="csc")
+        self._solver: LinearSolver = make_solver(system.tocsc(), options.solver_method)
+
+        # Static solver for DC initial conditions (built lazily).
+        self._static_solver: Optional[LinearSolver] = None
+
+    @property
+    def dt(self) -> float:
+        """Integration time step in seconds."""
+        return self._dt
+
+    @property
+    def options(self) -> TransientOptions:
+        """The option set the engine was built with."""
+        return self._options
+
+    @property
+    def mna(self) -> MNASystem:
+        """The MNA system being integrated."""
+        return self._mna
+
+    def _dc_state(self, load_currents: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """DC droop and inductor branch currents for given load currents."""
+        if self._static_solver is None:
+            self._static_solver = make_solver(self._mna.static_conductance(), "direct")
+        droop = self._static_solver.solve(self._mna.load_vector(load_currents))
+        if self._mna.num_inductors:
+            v_a = droop[self._mna.ind_a]
+            v_b = np.where(
+                self._mna.ind_b == REFERENCE_NODE, 0.0, droop[np.maximum(self._mna.ind_b, 0)]
+            )
+            branch_current = (v_a - v_b) / INDUCTOR_SHORT_RESISTANCE
+        else:
+            branch_current = np.empty(0)
+        return droop, branch_current
+
+    def run(self, trace: CurrentTrace) -> TransientResult:
+        """Integrate the system over a current trace.
+
+        The trace's ``dt`` must match the engine's ``dt`` (the factorisation
+        depends on it).
+        """
+        if not np.isclose(trace.dt, self._dt, rtol=1e-9, atol=0.0):
+            raise ValueError(
+                f"trace dt {trace.dt} does not match engine dt {self._dt}; "
+                "build a new engine for a different time step"
+            )
+        if trace.num_loads != self._mna.num_loads:
+            raise ValueError(
+                f"trace has {trace.num_loads} loads but the design has {self._mna.num_loads}"
+            )
+
+        mna = self._mna
+        options = self._options
+        num_nodes = mna.num_nodes
+        trapezoidal = options.method == "trapezoidal"
+
+        if options.initial_state == "dc":
+            droop, inductor_current = self._dc_state(trace.currents[0])
+        else:
+            droop = np.zeros(num_nodes)
+            inductor_current = np.zeros(mna.num_inductors)
+        cap_current = np.zeros(num_nodes)  # only used by the trapezoidal rule
+
+        max_droop = droop.copy()
+        worst_droop = float(np.max(droop)) if num_nodes else 0.0
+        worst_time_index = 0
+        stored = [droop.copy()] if options.store_waveform else None
+
+        ind_a = mna.ind_a
+        ind_b = mna.ind_b
+        ind_to_ref = ind_b == REFERENCE_NODE
+        ind_b_safe = np.where(ind_to_ref, 0, ind_b)
+
+        for step in range(1, trace.num_steps):
+            rhs = mna.load_vector(trace.currents[step])
+            rhs += self._cap_companion * droop
+            if trapezoidal:
+                rhs += cap_current
+            if mna.num_inductors:
+                if trapezoidal:
+                    v_ab = droop[ind_a] - np.where(ind_to_ref, 0.0, droop[ind_b_safe])
+                    history = inductor_current + self._ind_companion * v_ab
+                else:
+                    history = inductor_current
+                np.subtract.at(rhs, ind_a, history)
+                if np.any(~ind_to_ref):
+                    np.add.at(rhs, ind_b_safe[~ind_to_ref], history[~ind_to_ref])
+
+            new_droop = self._solver.solve(rhs)
+
+            if mna.num_inductors:
+                v_ab_new = new_droop[ind_a] - np.where(ind_to_ref, 0.0, new_droop[ind_b_safe])
+                if trapezoidal:
+                    inductor_current = history + self._ind_companion * v_ab_new
+                else:
+                    inductor_current = inductor_current + self._ind_companion * v_ab_new
+            if trapezoidal:
+                cap_current = self._cap_companion * (new_droop - droop) - cap_current
+
+            droop = new_droop
+            np.maximum(max_droop, droop, out=max_droop)
+            step_worst = float(np.max(droop))
+            if step_worst > worst_droop:
+                worst_droop = step_worst
+                worst_time_index = step
+            if stored is not None:
+                stored.append(droop.copy())
+
+        waveform = None
+        if stored is not None:
+            waveform = VoltageWaveform(np.vstack(stored), self._dt)
+        return TransientResult(
+            max_droop_per_node=max_droop,
+            final_droop=droop,
+            worst_droop=worst_droop,
+            worst_time_index=worst_time_index,
+            num_steps=trace.num_steps,
+            dt=self._dt,
+            waveform=waveform,
+        )

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG handling, validation helpers, logging, timing."""
+
+from repro.utils.random import RandomState, ensure_rng
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_in_range,
+)
+from repro.utils.timing import Timer, timed
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "check_in_range",
+    "Timer",
+    "timed",
+    "get_logger",
+]

@@ -1,0 +1,36 @@
+"""Logging configuration shared by the library and the benchmark harness."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    """Attach a single stream handler to the package root logger once."""
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    root.setLevel(getattr(logging, level_name, logging.WARNING))
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    The level is controlled by the ``REPRO_LOG_LEVEL`` environment variable
+    (default ``WARNING``), so library users see nothing unless they opt in.
+    """
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,73 @@
+"""Lightweight timing utilities for runtime comparisons.
+
+The paper reports wall-clock runtime for the proposed framework versus the
+commercial simulator (Table 2) and versus PowerNet (Table 3).  The benchmark
+harness uses :class:`Timer` to collect those measurements consistently.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure():
+    ...     _ = sum(range(1000))
+    >>> timer.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    _last: float = field(default=0.0, repr=False)
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self._last = elapsed
+            self.total += elapsed
+            self.count += 1
+
+    @property
+    def last(self) -> float:
+        """Duration of the most recent measurement in seconds."""
+        return self._last
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per measurement (0.0 if nothing measured)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Clear all accumulated measurements."""
+        self.total = 0.0
+        self.count = 0
+        self._last = 0.0
+
+
+def timed(func: Callable[..., T]) -> Callable[..., tuple[T, float]]:
+    """Wrap ``func`` so it returns ``(result, elapsed_seconds)``."""
+
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    wrapper.__name__ = getattr(func, "__name__", "timed")
+    wrapper.__doc__ = func.__doc__
+    return wrapper

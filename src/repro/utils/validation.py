@@ -1,0 +1,88 @@
+"""Small argument-validation helpers used across the library.
+
+These helpers raise ``ValueError``/``TypeError`` with consistent messages so
+that user-facing entry points fail loudly on malformed input instead of
+propagating NaNs into a simulation or a training run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def check_finite(array: np.ndarray, name: str = "array") -> np.ndarray:
+    """Raise ``ValueError`` if ``array`` contains NaN or infinity."""
+    arr = np.asarray(array)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values (NaN or inf)")
+    return arr
+
+
+def check_positive(value: float, name: str = "value", strict: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    low: float,
+    high: float,
+    name: str = "value",
+    inclusive: bool = True,
+) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bounds = "[{}, {}]" if inclusive else "({}, {})"
+        raise ValueError(
+            f"{name} must be within {bounds.format(low, high)}, got {value}"
+        )
+    return value
+
+
+def check_shape(
+    array: np.ndarray,
+    expected: Sequence[Optional[int]],
+    name: str = "array",
+) -> np.ndarray:
+    """Raise ``ValueError`` unless ``array.shape`` matches ``expected``.
+
+    ``None`` entries in ``expected`` act as wildcards for that dimension.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, got shape {arr.shape}"
+        )
+    for axis, (actual, want) in enumerate(zip(arr.shape, expected)):
+        if want is not None and actual != want:
+            raise ValueError(
+                f"{name} has shape {arr.shape}, expected "
+                f"{tuple(expected)} (mismatch at axis {axis})"
+            )
+    return arr
+
+
+def check_same_length(name_to_seq: dict[str, Iterable]) -> int:
+    """Raise ``ValueError`` unless all sequences share one length; return it."""
+    lengths = {name: len(list(seq)) for name, seq in name_to_seq.items()}
+    unique = set(lengths.values())
+    if len(unique) > 1:
+        raise ValueError(f"length mismatch: {lengths}")
+    return unique.pop() if unique else 0

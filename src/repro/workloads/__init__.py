@@ -1,0 +1,30 @@
+"""Workload (test-vector) generation and labelled-dataset construction."""
+
+from repro.workloads.vectors import (
+    EVENT_KINDS,
+    TestVectorGenerator,
+    VectorConfig,
+    generate_test_vectors,
+)
+from repro.workloads.scenarios import build_scenario, scenario_names
+from repro.workloads.dataset import (
+    DatasetSplit,
+    NoiseDataset,
+    NoiseSample,
+    build_dataset,
+    expansion_split,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "TestVectorGenerator",
+    "VectorConfig",
+    "generate_test_vectors",
+    "build_scenario",
+    "scenario_names",
+    "DatasetSplit",
+    "NoiseDataset",
+    "NoiseSample",
+    "build_dataset",
+    "expansion_split",
+]

@@ -1,0 +1,144 @@
+"""Named workload scenarios.
+
+The example applications and some benchmarks want recognisable, repeatable
+workloads rather than fully random vectors.  Each scenario builds a
+deterministic activity profile for the design's clusters and turns it into a
+:class:`~repro.sim.waveform.CurrentTrace`:
+
+* ``idle_to_turbo`` — all clusters ramp from near-idle to full activity,
+  the classic DVFS ramp that excites both IR drop and resonance.
+* ``power_virus`` — everything switches at maximum activity with a
+  resonance-rate clock-gating pattern; an upper bound stress vector.
+* ``clock_gating_storm`` — clusters toggle on and off at staggered phases,
+  producing repeated di/dt events across the die.
+* ``single_core_sprint`` — one cluster sprints while the rest idle, which is
+  what makes localised hotspots.
+* ``steady_state`` — constant medium activity; the near-DC reference where
+  temporal compression should discard almost everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.pdn.designs import Design
+from repro.sim.waveform import CurrentTrace
+from repro.utils import check_positive
+from repro.utils.random import RandomState, ensure_rng
+
+ScenarioBuilder = Callable[[Design, int, float, np.random.Generator], np.ndarray]
+
+
+def _cluster_activity_to_currents(design: Design, activity: np.ndarray) -> np.ndarray:
+    """Expand per-cluster activity ``(T, num_clusters + 1)`` to per-load currents."""
+    cluster_ids = design.loads.cluster_id
+    num_clusters = design.loads.num_clusters
+    profile_row = np.where(cluster_ids >= 0, cluster_ids, num_clusters)
+    per_load_activity = activity[:, profile_row]
+    return per_load_activity * design.loads.nominal_currents[np.newaxis, :]
+
+
+def _resonance_steps(design: Design, dt: float) -> int:
+    """Half resonance period expressed in time stamps."""
+    resonance = design.spec.package.resonance_frequency(max(design.grid.total_decap, 1e-15))
+    return max(2, int(round(0.5 / (resonance * dt))))
+
+
+def _idle_to_turbo(design: Design, num_steps: int, dt: float, rng: np.random.Generator) -> np.ndarray:
+    num_profiles = design.loads.num_clusters + 1
+    time_index = np.arange(num_steps)
+    ramp_start = int(0.2 * num_steps)
+    ramp_end = int(0.5 * num_steps)
+    activity = np.full((num_steps, num_profiles), 0.1)
+    ramp = np.clip((time_index - ramp_start) / max(ramp_end - ramp_start, 1), 0.0, 1.0)
+    activity += 1.1 * ramp[:, np.newaxis]
+    return activity
+
+
+def _power_virus(design: Design, num_steps: int, dt: float, rng: np.random.Generator) -> np.ndarray:
+    num_profiles = design.loads.num_clusters + 1
+    time_index = np.arange(num_steps)
+    period = 2 * _resonance_steps(design, dt)
+    gate = ((time_index % period) < period // 2).astype(float)
+    activity = 0.3 + 1.5 * gate
+    return np.tile(activity[:, np.newaxis], (1, num_profiles))
+
+
+def _clock_gating_storm(
+    design: Design, num_steps: int, dt: float, rng: np.random.Generator
+) -> np.ndarray:
+    num_profiles = design.loads.num_clusters + 1
+    time_index = np.arange(num_steps)
+    period = 2 * _resonance_steps(design, dt)
+    activity = np.empty((num_steps, num_profiles))
+    for profile in range(num_profiles):
+        phase = int(rng.integers(0, period))
+        gate = (((time_index + phase) % period) < period // 2).astype(float)
+        activity[:, profile] = 0.2 + 1.2 * gate
+    return activity
+
+
+def _single_core_sprint(
+    design: Design, num_steps: int, dt: float, rng: np.random.Generator
+) -> np.ndarray:
+    num_profiles = design.loads.num_clusters + 1
+    time_index = np.arange(num_steps)
+    activity = np.full((num_steps, num_profiles), 0.15)
+    sprinting = int(rng.integers(0, max(design.loads.num_clusters, 1)))
+    burst_center = 0.55 * num_steps
+    burst_width = max(2.0, 1.5 * _resonance_steps(design, dt))
+    activity[:, sprinting] += 1.6 * np.exp(-0.5 * ((time_index - burst_center) / burst_width) ** 2)
+    return activity
+
+
+def _steady_state(design: Design, num_steps: int, dt: float, rng: np.random.Generator) -> np.ndarray:
+    num_profiles = design.loads.num_clusters + 1
+    return np.full((num_steps, num_profiles), 0.6)
+
+
+_SCENARIOS: Dict[str, ScenarioBuilder] = {
+    "idle_to_turbo": _idle_to_turbo,
+    "power_virus": _power_virus,
+    "clock_gating_storm": _clock_gating_storm,
+    "single_core_sprint": _single_core_sprint,
+    "steady_state": _steady_state,
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of the available scenarios."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def build_scenario(
+    name: str,
+    design: Design,
+    num_steps: int = 400,
+    dt: float = 1e-11,
+    seed: RandomState = 0,
+) -> CurrentTrace:
+    """Build a named scenario trace for a design.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`scenario_names`.
+    design:
+        Target design.
+    num_steps / dt:
+        Trace length and time step.
+    seed:
+        Seed for the scenario's (small) random choices, e.g. which cluster
+        sprints.
+    """
+    if name not in _SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; expected one of {scenario_names()}")
+    if num_steps < 2:
+        raise ValueError(f"num_steps must be >= 2, got {num_steps}")
+    check_positive(dt, "dt")
+    rng = ensure_rng(seed)
+    activity = _SCENARIOS[name](design, num_steps, dt, rng)
+    currents = _cluster_activity_to_currents(design, np.clip(activity, 0.0, None))
+    return CurrentTrace(currents, dt, name=f"{design.name}-{name}")

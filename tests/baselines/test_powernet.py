@@ -1,0 +1,84 @@
+"""Tests for repro.baselines.powernet."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.powernet import PowerNetBaseline, PowerNetConfig, PowerNetModel, _time_decompose
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return PowerNetConfig(
+        window_size=5,
+        num_time_maps=4,
+        channels=(4, 4),
+        hidden_units=8,
+        epochs=2,
+        tiles_per_vector=8,
+        learning_rate=2e-3,
+        seed=0,
+    )
+
+
+class TestPowerNetConfig:
+    def test_defaults_valid(self):
+        config = PowerNetConfig()
+        assert config.window_size == 15
+
+    def test_rejects_even_window(self):
+        with pytest.raises(ValueError):
+            PowerNetConfig(window_size=8)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            PowerNetConfig(num_time_maps=0)
+        with pytest.raises(ValueError):
+            PowerNetConfig(epochs=0)
+
+
+class TestTimeDecompose:
+    def test_number_of_frames(self, rng):
+        maps = rng.random((40, 6, 6))
+        frames = _time_decompose(maps, 8)
+        assert frames.shape == (8, 6, 6)
+
+    def test_fewer_steps_than_frames(self, rng):
+        maps = rng.random((3, 4, 4))
+        frames = _time_decompose(maps, 10)
+        assert frames.shape[0] == 3
+
+    def test_energy_preserved_in_mean(self, rng):
+        maps = rng.random((20, 4, 4))
+        frames = _time_decompose(maps, 4)
+        assert frames.mean() == pytest.approx(maps.mean(), rel=1e-9)
+
+
+class TestPowerNetModel:
+    def test_scores_batch_of_windows(self, small_config, rng):
+        model = PowerNetModel(small_config)
+        windows = Tensor(rng.random((6, 1, 5, 5)))
+        scores = model(windows)
+        assert scores.shape == (6,)
+
+
+class TestPowerNetBaseline:
+    def test_fit_and_predict(self, small_config, tiny_dataset, tiny_split):
+        baseline = PowerNetBaseline(small_config)
+        losses = baseline.fit(tiny_dataset, tiny_split, seed=0)
+        assert len(losses) == small_config.epochs
+        noise_map, runtime = baseline.predict_sample(tiny_dataset, int(tiny_split.test[0]))
+        assert noise_map.shape == tiny_dataset.tile_shape
+        assert runtime > 0
+        assert np.all(np.isfinite(noise_map))
+
+    def test_predict_before_fit_rejected(self, small_config, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            PowerNetBaseline(small_config).predict_sample(tiny_dataset, 0)
+
+    def test_predict_many(self, small_config, tiny_dataset, tiny_split):
+        baseline = PowerNetBaseline(small_config)
+        baseline.fit(tiny_dataset, tiny_split, seed=1)
+        maps, runtimes = baseline.predict_many(tiny_dataset, tiny_split.test[:2])
+        assert maps.shape[0] == 2
+        assert runtimes.shape == (2,)

@@ -1,0 +1,54 @@
+"""Tests for repro.baselines.tile_features."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tile_features import TileGBTBaseline, TileRidgeBaseline, tile_feature_matrix
+from repro.core.metrics import evaluate_predictions
+
+
+class TestTileFeatureMatrix:
+    def test_shape_and_finiteness(self, tiny_dataset):
+        matrix = tile_feature_matrix(tiny_dataset, 0)
+        num_tiles = tiny_dataset.tile_shape[0] * tiny_dataset.tile_shape[1]
+        assert matrix.shape == (num_tiles, 10)
+        assert np.all(np.isfinite(matrix))
+
+    def test_distance_columns_constant_across_samples(self, tiny_dataset):
+        a = tile_feature_matrix(tiny_dataset, 0)
+        b = tile_feature_matrix(tiny_dataset, 1)
+        # Columns 5 and 6 are distance features; they depend only on the design.
+        np.testing.assert_allclose(a[:, 5:7], b[:, 5:7])
+
+
+class TestTileRidgeBaseline:
+    def test_fit_predict_shapes(self, tiny_dataset, tiny_split):
+        baseline = TileRidgeBaseline().fit(tiny_dataset, tiny_split)
+        prediction, runtime = baseline.predict_sample(tiny_dataset, int(tiny_split.test[0]))
+        assert prediction.shape == tiny_dataset.tile_shape
+        assert runtime > 0
+
+    def test_beats_trivial_zero_predictor(self, tiny_dataset, tiny_split):
+        baseline = TileRidgeBaseline().fit(tiny_dataset, tiny_split)
+        maps, _ = baseline.predict_many(tiny_dataset, tiny_split.test)
+        truth = np.stack([tiny_dataset.samples[i].target for i in tiny_split.test])
+        ridge_error = np.mean(np.abs(maps - truth))
+        zero_error = np.mean(np.abs(truth))
+        assert ridge_error < zero_error
+
+    def test_predict_before_fit_rejected(self, tiny_dataset):
+        with pytest.raises(RuntimeError):
+            TileRidgeBaseline().predict_sample(tiny_dataset, 0)
+
+
+class TestTileGBTBaseline:
+    def test_fit_predict_and_accuracy(self, tiny_dataset, tiny_split):
+        baseline = TileGBTBaseline(num_trees=20, max_depth=3, seed=0).fit(tiny_dataset, tiny_split)
+        maps, runtimes = baseline.predict_many(tiny_dataset, tiny_split.test)
+        truth = np.stack([tiny_dataset.samples[i].target for i in tiny_split.test])
+        report = evaluate_predictions(maps, truth, tiny_dataset.hotspot_threshold)
+        # The GBT baseline should be clearly better than predicting the mean.
+        mean_map = np.full_like(truth, truth.mean())
+        trivial = evaluate_predictions(mean_map, truth, tiny_dataset.hotspot_threshold)
+        assert report.mean_ae < trivial.mean_ae
+        assert runtimes.shape == (len(tiny_split.test),)

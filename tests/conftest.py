@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (designs, simulated datasets) are session-scoped so the many
+tests that need "some realistic design" or "some labelled samples" do not
+each pay for simulation.  Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pdn import small_test_design
+from repro.workloads import build_dataset, expansion_split, generate_test_vectors
+from repro.workloads.vectors import VectorConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_design():
+    """A small but complete design (3 metal layers, package, clusters)."""
+    return small_test_design(tile_rows=8, tile_cols=8, num_loads=48, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_traces(tiny_design):
+    """A handful of short random test vectors for the tiny design."""
+    return generate_test_vectors(
+        tiny_design, 10, VectorConfig(num_steps=80, dt=1e-11), seed=3
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_design, tiny_traces):
+    """Labelled dataset (simulated ground truth) for the tiny design."""
+    return build_dataset(tiny_design, tiny_traces, compression_rate=0.4)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    """Expansion split of the tiny dataset."""
+    return expansion_split(tiny_dataset, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

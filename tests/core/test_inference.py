@@ -1,0 +1,85 @@
+"""Tests for repro.core.inference."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.inference import NoisePredictor
+from repro.core.model import WorstCaseNoiseNet
+from repro.features.extraction import FeatureNormalizer, distance_feature
+
+
+@pytest.fixture(scope="module")
+def predictor(tiny_design):
+    model = WorstCaseNoiseNet(
+        num_bumps=tiny_design.grid.num_bumps,
+        config=ModelConfig(distance_kernels=4, fusion_kernels=4, prediction_kernels=4, seed=0),
+    )
+    normalizer = FeatureNormalizer(current_scale=0.05, distance_scale=1000.0, noise_scale=0.15)
+    return NoisePredictor(
+        model=model,
+        normalizer=normalizer,
+        distance=distance_feature(tiny_design),
+        compression_rate=0.4,
+    )
+
+
+class TestNoisePredictor:
+    def test_predict_trace_shape_and_runtime(self, predictor, tiny_design, tiny_traces):
+        result = predictor.predict_trace(tiny_traces[0], tiny_design)
+        assert result.noise_map.shape == tiny_design.tile_grid.shape
+        assert result.runtime_seconds > 0
+        assert result.name == tiny_traces[0].name
+        assert np.all(np.isfinite(result.noise_map))
+
+    def test_predict_features_matches_trace_path(self, predictor, tiny_design, tiny_traces):
+        from repro.features.extraction import extract_vector_features
+
+        features = extract_vector_features(tiny_traces[0], tiny_design, compression_rate=0.4)
+        from_features = predictor.predict_features(features)
+        from_trace = predictor.predict_trace(tiny_traces[0], tiny_design)
+        np.testing.assert_allclose(from_features.noise_map, from_trace.noise_map, rtol=1e-9)
+
+    def test_predict_dataset(self, predictor, tiny_dataset):
+        maps, runtimes = predictor.predict_dataset(tiny_dataset, indices=[0, 1, 2])
+        assert maps.shape == (3,) + tiny_dataset.tile_shape
+        assert runtimes.shape == (3,)
+
+    def test_prediction_result_helpers(self, predictor, tiny_design, tiny_traces):
+        result = predictor.predict_trace(tiny_traces[0], tiny_design)
+        assert result.worst_noise == pytest.approx(result.noise_map.max())
+        hotspots = result.hotspot_map(0.1)
+        assert hotspots.dtype == bool
+
+    def test_distance_shape_validation(self, predictor, rng):
+        with pytest.raises(ValueError):
+            NoisePredictor(
+                model=predictor.model,
+                normalizer=predictor.normalizer,
+                distance=rng.random((3, 4)),
+            )
+
+    def test_bump_count_mismatch_rejected(self, predictor, rng):
+        with pytest.raises(ValueError):
+            NoisePredictor(
+                model=predictor.model,
+                normalizer=predictor.normalizer,
+                distance=rng.random((2, 8, 8)),
+            )
+
+    def test_save_and_load_roundtrip(self, predictor, tiny_design, tiny_traces, tmp_path):
+        path = tmp_path / "predictor.npz"
+        predictor.save(path)
+        restored = NoisePredictor.load(path)
+        original = predictor.predict_trace(tiny_traces[0], tiny_design)
+        reloaded = restored.predict_trace(tiny_traces[0], tiny_design)
+        np.testing.assert_allclose(original.noise_map, reloaded.noise_map, rtol=1e-9)
+        assert restored.compression_rate == predictor.compression_rate
+
+    def test_load_rejects_checkpoint_without_metadata(self, predictor, tmp_path):
+        from repro.nn import save_checkpoint
+
+        path = tmp_path / "bare.npz"
+        save_checkpoint(predictor.model, path)
+        with pytest.raises(ValueError):
+            NoisePredictor.load(path)

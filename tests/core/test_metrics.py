@@ -1,0 +1,131 @@
+"""Tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    absolute_error,
+    evaluate_predictions,
+    hotspot_missing_rate,
+    relative_error,
+    roc_auc,
+)
+
+
+class TestAbsoluteRelativeError:
+    def test_absolute_error_values(self):
+        np.testing.assert_allclose(
+            absolute_error(np.array([1.0, 2.0]), np.array([0.5, 3.0])), [0.5, 1.0]
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_error(np.ones(2), np.ones(3))
+
+    def test_relative_error_values(self):
+        re = relative_error(np.array([0.11]), np.array([0.10]))
+        assert re[0] == pytest.approx(0.1)
+
+    def test_relative_error_floor_prevents_blowup(self):
+        re = relative_error(np.array([0.01]), np.array([0.0]), floor=1e-2)
+        assert re[0] == pytest.approx(1.0)
+
+    def test_relative_error_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            relative_error(np.ones(2), np.ones(2), floor=0.0)
+
+    def test_perfect_prediction_zero_errors(self, rng):
+        truth = rng.random((3, 4))
+        assert absolute_error(truth, truth).max() == 0
+        assert relative_error(truth, truth).max() == 0
+
+
+class TestHotspotMissingRate:
+    def test_no_hotspots_returns_zero(self):
+        assert hotspot_missing_rate(np.zeros((2, 2)), np.zeros((2, 2)), 0.1) == 0.0
+
+    def test_all_found(self):
+        truth = np.array([[0.2, 0.0], [0.0, 0.2]])
+        assert hotspot_missing_rate(truth, truth, 0.1) == 0.0
+
+    def test_half_missed(self):
+        truth = np.array([0.2, 0.2, 0.0])
+        predicted = np.array([0.2, 0.05, 0.0])
+        assert hotspot_missing_rate(predicted, truth, 0.1) == pytest.approx(0.5)
+
+    def test_overprediction_not_penalised(self):
+        truth = np.array([0.2, 0.0])
+        predicted = np.array([0.2, 0.3])
+        assert hotspot_missing_rate(predicted, truth, 0.1) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([True, True, False, False])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([True, True, False, False])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self, rng):
+        scores = rng.random(4000)
+        labels = rng.random(4000) > 0.7
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_single_class_returns_half(self):
+        assert roc_auc(np.array([0.3, 0.4]), np.array([True, True])) == 0.5
+
+    def test_ties_handled(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([True, False, True, False])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    @given(seed=st.integers(0, 200), size=st.integers(5, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_auc_is_invariant_to_monotone_transform(self, seed, size):
+        generator = np.random.default_rng(seed)
+        scores = generator.random(size)
+        labels = generator.random(size) > 0.5
+        original = roc_auc(scores, labels)
+        transformed = roc_auc(np.exp(3 * scores), labels)
+        assert original == pytest.approx(transformed, abs=1e-12)
+
+
+class TestEvaluatePredictions:
+    def test_report_fields(self, rng):
+        truth = 0.05 + 0.1 * rng.random((5, 6, 6))
+        predicted = truth + 0.002 * rng.standard_normal(truth.shape)
+        report = evaluate_predictions(predicted, truth, hotspot_threshold=0.1)
+        assert report.num_vectors == 5
+        assert report.num_tiles == 36
+        assert report.mean_ae_mv < 5
+        assert report.mean_ae <= report.p99_ae <= report.max_ae
+        assert report.mean_re <= report.max_re
+        assert 0.0 <= report.hotspot_missing_rate <= 1.0
+        assert 0.0 <= report.auc <= 1.0
+
+    def test_perfect_prediction(self, rng):
+        truth = 0.05 + 0.1 * rng.random((3, 4, 4))
+        report = evaluate_predictions(truth.copy(), truth, hotspot_threshold=0.1)
+        assert report.mean_ae == 0.0
+        assert report.max_re == 0.0
+        assert report.hotspot_missing_rate == 0.0
+        assert report.auc == pytest.approx(1.0)
+
+    def test_as_dict_and_table_row(self, rng):
+        truth = 0.1 * rng.random((2, 3, 3)) + 0.01
+        report = evaluate_predictions(truth, truth, hotspot_threshold=0.05)
+        payload = report.as_dict()
+        assert "mean_AE_mV" in payload and "AUC" in payload
+        assert "mV" in report.table_row()
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(ValueError):
+            evaluate_predictions(np.ones((2, 3, 3)), np.ones((3, 3, 3)), 0.1)
+        with pytest.raises(ValueError):
+            evaluate_predictions(np.ones((3, 3)), np.ones((3, 3)), 0.1)

@@ -1,0 +1,79 @@
+"""Tests for repro.core.pipeline (end-to-end framework)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig, PipelineConfig, TrainingConfig
+from repro.core.pipeline import RuntimeComparison, WorstCaseNoiseFramework
+
+
+@pytest.fixture(scope="module")
+def quick_framework(tiny_design):
+    config = PipelineConfig(
+        num_vectors=12,
+        num_steps=60,
+        compression_rate=0.4,
+        model=ModelConfig(distance_kernels=3, fusion_kernels=3, prediction_kernels=4, seed=0),
+        training=TrainingConfig(epochs=4, learning_rate=2e-3, batch_size=4,
+                                early_stopping_patience=None, seed=0),
+        seed=0,
+    )
+    return WorstCaseNoiseFramework(tiny_design, config)
+
+
+@pytest.fixture(scope="module")
+def framework_result(quick_framework):
+    return quick_framework.run()
+
+
+class TestRuntimeComparison:
+    def test_speedup(self):
+        comparison = RuntimeComparison(simulator_seconds=10.0, predictor_seconds=2.0, num_vectors=5)
+        assert comparison.speedup == pytest.approx(5.0)
+        assert comparison.as_dict()["speedup"] == pytest.approx(5.0)
+
+    def test_zero_predictor_time(self):
+        assert RuntimeComparison(1.0, 0.0, 1).speedup == float("inf")
+
+
+class TestWorstCaseNoiseFramework:
+    def test_generate_vectors_count(self, quick_framework):
+        vectors = quick_framework.generate_vectors()
+        assert len(vectors) == 12
+        assert vectors[0].num_steps == 60
+
+    def test_run_produces_complete_result(self, framework_result, tiny_design):
+        result = framework_result
+        assert result.design_name == tiny_design.name
+        assert len(result.dataset) == 12
+        assert result.predicted_test_maps.shape == result.truth_test_maps.shape
+        assert result.predicted_test_maps.shape[0] == len(result.split.test)
+        assert result.report.num_vectors == len(result.split.test)
+        assert result.runtime.num_vectors == len(result.split.test)
+        assert result.runtime.simulator_seconds > 0
+        assert result.runtime.predictor_seconds > 0
+
+    def test_summary_contains_accuracy_and_runtime(self, framework_result):
+        summary = framework_result.summary()
+        assert "mean_AE_mV" in summary
+        assert "speedup" in summary
+        assert summary["design"] == framework_result.design_name
+
+    def test_split_fractions(self, framework_result):
+        split = framework_result.split
+        total = sum(split.sizes)
+        assert total == 12
+        assert len(split.train) >= 5
+
+    def test_evaluate_on_custom_indices(self, quick_framework, framework_result):
+        report, runtime, predicted, truth = quick_framework.evaluate(
+            framework_result.dataset, framework_result.training, indices=[0, 1]
+        )
+        assert predicted.shape[0] == 2
+        assert runtime.num_vectors == 2
+
+    def test_predictions_are_physically_plausible(self, framework_result, tiny_design):
+        # Even a lightly trained model must predict positive, sub-Vdd noise.
+        predicted = framework_result.predicted_test_maps
+        assert np.all(np.isfinite(predicted))
+        assert predicted.max() < tiny_design.spec.vdd

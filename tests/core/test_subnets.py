@@ -1,0 +1,85 @@
+"""Tests for repro.core.subnets."""
+
+import numpy as np
+import pytest
+
+from repro.core.subnets import (
+    CurrentFusionNet,
+    DistanceReductionNet,
+    EncoderDecoder,
+    NoisePredictionNet,
+)
+from repro.nn import Tensor
+
+
+class TestEncoderDecoder:
+    @pytest.mark.parametrize("height,width", [(8, 8), (9, 7), (13, 11), (16, 12)])
+    def test_output_matches_input_size(self, height, width, rng):
+        # Odd sizes exercise the crop-after-upsample path.
+        network = EncoderDecoder(in_channels=2, out_channels=1, hidden_channels=4, depth=2, seed=0)
+        output = network(Tensor(rng.random((1, 2, height, width))))
+        assert output.shape == (1, 1, height, width)
+
+    def test_depth_one(self, rng):
+        network = EncoderDecoder(3, 2, 4, depth=1, seed=0)
+        output = network(Tensor(rng.random((2, 3, 10, 10))))
+        assert output.shape == (2, 2, 10, 10)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            EncoderDecoder(1, 1, 4, depth=0)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        network = EncoderDecoder(1, 1, 3, depth=2, seed=0)
+        output = network(Tensor(rng.random((1, 1, 9, 9))))
+        output.sum().backward()
+        for name, parameter in network.named_parameters():
+            assert parameter.grad is not None, f"no gradient for {name}"
+            assert np.any(parameter.grad != 0) or parameter.grad.size == 0
+
+
+class TestDistanceReductionNet:
+    def test_reduces_bump_channels_to_one(self, rng):
+        network = DistanceReductionNet(num_bumps=9, hidden_channels=4, seed=0)
+        output = network(Tensor(rng.random((1, 9, 8, 8))))
+        assert output.shape == (1, 1, 8, 8)
+
+    def test_rejects_wrong_channel_count(self, rng):
+        network = DistanceReductionNet(num_bumps=4, hidden_channels=4, seed=0)
+        with pytest.raises(ValueError):
+            network(Tensor(rng.random((1, 5, 8, 8))))
+
+    def test_rejects_zero_bumps(self):
+        with pytest.raises(ValueError):
+            DistanceReductionNet(num_bumps=0)
+
+
+class TestCurrentFusionNet:
+    def test_handles_variable_length_input(self, rng):
+        network = CurrentFusionNet(hidden_channels=4, seed=0)
+        short = network(Tensor(rng.random((5, 1, 8, 8))))
+        long = network(Tensor(rng.random((17, 1, 8, 8))))
+        assert short.shape == (5, 1, 8, 8)
+        assert long.shape == (17, 1, 8, 8)
+
+    def test_odd_spatial_size(self, rng):
+        network = CurrentFusionNet(hidden_channels=4, seed=0)
+        output = network(Tensor(rng.random((3, 1, 9, 11))))
+        assert output.shape == (3, 1, 9, 11)
+
+    def test_rejects_multichannel_input(self, rng):
+        network = CurrentFusionNet(seed=0)
+        with pytest.raises(ValueError):
+            network(Tensor(rng.random((3, 2, 8, 8))))
+
+
+class TestNoisePredictionNet:
+    def test_output_shape(self, rng):
+        network = NoisePredictionNet(hidden_channels=8, seed=0)
+        output = network(Tensor(rng.random((1, 4, 10, 10))))
+        assert output.shape == (1, 1, 10, 10)
+
+    def test_rejects_wrong_channel_count(self, rng):
+        network = NoisePredictionNet(seed=0)
+        with pytest.raises(ValueError):
+            network(Tensor(rng.random((1, 3, 8, 8))))

@@ -1,0 +1,112 @@
+"""Tests for repro.features.extraction."""
+
+import numpy as np
+import pytest
+
+from repro.features.extraction import (
+    FeatureNormalizer,
+    current_summary_maps,
+    distance_feature,
+    extract_vector_features,
+    fit_normalizer,
+    normalized_distance_feature,
+)
+from repro.features.spatial import load_current_maps
+
+
+class TestDistanceFeature:
+    def test_shape(self, tiny_design):
+        feature = distance_feature(tiny_design)
+        assert feature.shape == (tiny_design.grid.num_bumps,) + tiny_design.tile_grid.shape
+
+    def test_nonnegative_and_bounded_by_diagonal(self, tiny_design):
+        feature = distance_feature(tiny_design)
+        diagonal = np.hypot(tiny_design.die.width, tiny_design.die.height)
+        assert feature.min() >= 0
+        assert feature.max() <= diagonal
+
+    def test_normalized_version_in_unit_range(self, tiny_design):
+        feature = normalized_distance_feature(tiny_design)
+        assert feature.max() <= 1.0
+
+
+class TestCurrentSummaryMaps:
+    def test_channels(self, rng):
+        maps = rng.random((20, 4, 5))
+        summary = current_summary_maps(maps)
+        assert summary.shape == (3, 4, 5)
+        np.testing.assert_allclose(summary[0], maps.max(axis=0))
+        np.testing.assert_allclose(summary[1], 0.5 * (maps.max(axis=0) + maps.min(axis=0)))
+        np.testing.assert_allclose(summary[2], maps.mean(axis=0) + 3 * maps.std(axis=0))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            current_summary_maps(np.ones((4, 4)))
+
+    def test_ordering_i_max_at_least_i_mean(self, rng):
+        maps = rng.random((30, 6, 6))
+        summary = current_summary_maps(maps)
+        assert np.all(summary[0] >= summary[1] - 1e-12)
+
+
+class TestFeatureNormalizer:
+    def test_roundtrip_noise(self):
+        normalizer = FeatureNormalizer(current_scale=2.0, distance_scale=3.0, noise_scale=0.5)
+        noise = np.array([[0.1, 0.2]])
+        np.testing.assert_allclose(
+            normalizer.denormalize_noise(normalizer.normalize_noise(noise)), noise
+        )
+
+    def test_dict_roundtrip(self):
+        normalizer = FeatureNormalizer(1.5, 2.5, 3.5)
+        clone = FeatureNormalizer.from_dict(normalizer.to_dict())
+        assert clone.current_scale == normalizer.current_scale
+        assert clone.noise_scale == normalizer.noise_scale
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            FeatureNormalizer(current_scale=0.0)
+
+
+class TestFitNormalizer:
+    def test_scales_from_data(self, tiny_design, tiny_dataset):
+        currents = np.concatenate(
+            [sample.features.current_maps for sample in tiny_dataset.samples]
+        )
+        noise = tiny_dataset.targets()
+        normalizer = fit_normalizer(tiny_design, currents, noise)
+        assert normalizer.current_scale > 0
+        assert normalizer.noise_scale > 0
+        assert normalizer.distance_scale == pytest.approx(
+            np.hypot(tiny_design.die.width, tiny_design.die.height)
+        )
+        # Normalised currents land mostly inside [0, ~1].
+        normalized = normalizer.normalize_currents(currents)
+        assert np.percentile(normalized, 99.0) <= 1.01
+
+    def test_without_noise_uses_vdd_fraction(self, tiny_design, rng):
+        normalizer = fit_normalizer(tiny_design, rng.random((10, 4, 4)))
+        assert normalizer.noise_scale == pytest.approx(0.2 * tiny_design.spec.vdd)
+
+
+class TestExtractVectorFeatures:
+    def test_with_compression(self, tiny_design, tiny_traces):
+        trace = tiny_traces[0]
+        features = extract_vector_features(trace, tiny_design, compression_rate=0.25)
+        assert features.num_steps == int(round(0.25 * trace.num_steps))
+        assert features.tile_shape == tiny_design.tile_grid.shape
+        assert features.compression is not None
+        assert features.name == trace.name
+
+    def test_without_compression(self, tiny_design, tiny_traces):
+        trace = tiny_traces[0]
+        features = extract_vector_features(trace, tiny_design, compression_rate=None)
+        assert features.num_steps == trace.num_steps
+        assert features.compression is None
+        np.testing.assert_allclose(
+            features.current_maps, load_current_maps(trace, tiny_design)
+        )
+
+    def test_summary_maps_shape(self, tiny_design, tiny_traces):
+        features = extract_vector_features(tiny_traces[0], tiny_design, compression_rate=0.5)
+        assert features.summary_maps().shape == (3,) + tiny_design.tile_grid.shape

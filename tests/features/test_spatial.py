@@ -1,0 +1,75 @@
+"""Tests for repro.features.spatial."""
+
+import numpy as np
+import pytest
+
+from repro.features.spatial import (
+    average_current_map,
+    load_current_maps,
+    node_noise_to_tile_map,
+    tile_incidence_matrix,
+    tile_load_count_map,
+    tile_nominal_current_map,
+)
+from repro.sim.waveform import CurrentTrace
+
+
+class TestTileIncidenceMatrix:
+    def test_one_hot_rows(self):
+        incidence = tile_incidence_matrix(np.array([0, 2, 2]), 3)
+        dense = incidence.toarray()
+        np.testing.assert_allclose(dense.sum(axis=1), 1.0)
+        assert dense[1, 2] == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            tile_incidence_matrix(np.array([0, 5]), 3)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            tile_incidence_matrix(np.zeros((2, 2), dtype=int), 4)
+
+
+class TestLoadCurrentMaps:
+    def test_shape_and_conservation(self, tiny_design, tiny_traces):
+        trace = tiny_traces[0]
+        maps = load_current_maps(trace, tiny_design)
+        assert maps.shape == (trace.num_steps,) + tiny_design.tile_grid.shape
+        # Tiling conserves the total current at every stamp.
+        np.testing.assert_allclose(
+            maps.reshape(trace.num_steps, -1).sum(axis=1), trace.total_current(), rtol=1e-12
+        )
+
+    def test_load_count_mismatch_rejected(self, tiny_design):
+        bad = CurrentTrace(np.ones((5, 3)), 1e-11)
+        with pytest.raises(ValueError):
+            load_current_maps(bad, tiny_design)
+
+    def test_average_map(self, tiny_design, tiny_traces):
+        trace = tiny_traces[0]
+        average = average_current_map(trace, tiny_design)
+        np.testing.assert_allclose(
+            average, load_current_maps(trace, tiny_design).mean(axis=0), rtol=1e-12
+        )
+
+
+class TestNodeNoiseToTileMap:
+    def test_matches_design_tile_shape(self, tiny_design, rng):
+        node_noise = rng.random(tiny_design.mna.num_die_nodes)
+        tile_map = node_noise_to_tile_map(node_noise, tiny_design)
+        assert tile_map.shape == tiny_design.tile_grid.shape
+        assert tile_map.max() == pytest.approx(node_noise.max())
+
+    def test_wrong_length_rejected(self, tiny_design):
+        with pytest.raises(ValueError):
+            node_noise_to_tile_map(np.ones(3), tiny_design)
+
+
+class TestStaticTileMaps:
+    def test_load_count_map_total(self, tiny_design):
+        counts = tile_load_count_map(tiny_design)
+        assert counts.sum() == tiny_design.num_loads
+
+    def test_nominal_current_map_total(self, tiny_design):
+        totals = tile_nominal_current_map(tiny_design)
+        assert totals.sum() == pytest.approx(tiny_design.loads.total_nominal_current)

@@ -1,0 +1,89 @@
+"""Tests for repro.io.results."""
+
+import numpy as np
+import pytest
+
+from repro.io.results import (
+    ExperimentRecord,
+    ascii_heatmap,
+    ascii_histogram,
+    format_table,
+    read_json,
+    write_csv,
+    write_json,
+)
+
+
+@pytest.fixture()
+def records():
+    return [
+        ExperimentRecord("table2", "D1", {"mean_AE_mV": 0.98, "speedup": 26.0}),
+        ExperimentRecord("table2", "D2", {"mean_AE_mV": 0.74, "speedup": 25.0}),
+    ]
+
+
+class TestFormatTable:
+    def test_contains_labels_and_columns(self, records):
+        text = format_table(records, title="Table 2")
+        assert "Table 2" in text
+        assert "D1" in text and "D2" in text
+        assert "mean_AE_mV" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no records)"
+
+    def test_value_formatting(self):
+        record = ExperimentRecord("x", "row", {"tiny": 1e-6, "huge": 12345.0, "none": None})
+        text = format_table([record])
+        assert "1e-06" in text and "-" in text
+
+
+class TestCsvJson:
+    def test_csv_roundtrip_columns(self, records, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(records, path)
+        content = path.read_text().splitlines()
+        assert content[0] == "experiment,label,mean_AE_mV,speedup"
+        assert len(content) == 3
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+    def test_json_roundtrip(self, records, tmp_path):
+        path = tmp_path / "table.json"
+        write_json(records, path)
+        loaded = read_json(path)
+        assert len(loaded) == 2
+        assert loaded[0].label == "D1"
+        assert loaded[0].values["mean_AE_mV"] == pytest.approx(0.98)
+
+    def test_json_handles_numpy_types(self, tmp_path):
+        record = ExperimentRecord("x", "row", {"value": np.float64(1.5), "count": np.int64(3),
+                                               "vector": np.array([1.0, 2.0])})
+        write_json([record], tmp_path / "np.json")
+        loaded = read_json(tmp_path / "np.json")
+        assert loaded[0].values["count"] == 3
+
+
+class TestAsciiRenderers:
+    def test_heatmap_contains_extremes(self, rng):
+        values = rng.random((20, 30))
+        text = ascii_heatmap(values, title="noise map")
+        assert "noise map" in text
+        assert "min=" in text and "max=" in text
+        assert len(text.splitlines()) > 2
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.ones(5))
+
+    def test_heatmap_constant_map(self):
+        text = ascii_heatmap(np.ones((4, 4)))
+        assert len(text.splitlines()) == 4
+
+    def test_histogram_bar_counts(self, rng):
+        text = ascii_histogram(rng.standard_normal(500), bins=10, title="errors")
+        lines = text.splitlines()
+        assert lines[0] == "errors"
+        assert len(lines) == 11

@@ -1,0 +1,57 @@
+"""Tests for repro.nn.data."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ArrayDataset, BatchIterator
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        dataset = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        assert len(dataset) == 10
+        first, second = dataset[3]
+        assert first == 3 and second == 6
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(5), np.arange(6))
+
+    def test_requires_at_least_one_array(self):
+        with pytest.raises(ValueError):
+            ArrayDataset()
+
+    def test_fancy_indexing(self):
+        dataset = ArrayDataset(np.arange(10))
+        (selected,) = dataset[np.array([1, 3, 5])]
+        np.testing.assert_array_equal(selected, [1, 3, 5])
+
+
+class TestBatchIterator:
+    def test_covers_all_samples(self):
+        dataset = ArrayDataset(np.arange(10))
+        iterator = BatchIterator(dataset, batch_size=3, shuffle=False)
+        collected = np.concatenate([batch[0] for batch in iterator])
+        np.testing.assert_array_equal(np.sort(collected), np.arange(10))
+
+    def test_len_with_and_without_drop_last(self):
+        dataset = ArrayDataset(np.arange(10))
+        assert len(BatchIterator(dataset, batch_size=3, drop_last=False)) == 4
+        assert len(BatchIterator(dataset, batch_size=3, drop_last=True)) == 3
+
+    def test_drop_last_skips_partial(self):
+        dataset = ArrayDataset(np.arange(10))
+        iterator = BatchIterator(dataset, batch_size=4, shuffle=False, drop_last=True)
+        sizes = [batch[0].shape[0] for batch in iterator]
+        assert sizes == [4, 4]
+
+    def test_shuffle_changes_order_but_not_content(self):
+        dataset = ArrayDataset(np.arange(50))
+        iterator = BatchIterator(dataset, batch_size=50, shuffle=True, seed=0)
+        (batch,) = [b[0] for b in iterator]
+        assert not np.array_equal(batch, np.arange(50))
+        np.testing.assert_array_equal(np.sort(batch), np.arange(50))
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchIterator(ArrayDataset(np.arange(5)), batch_size=0)

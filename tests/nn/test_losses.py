@@ -1,0 +1,80 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, huber_loss, l1_loss, mse_loss
+from tests.nn.gradcheck import numerical_gradient
+
+
+class TestL1Loss:
+    def test_value(self):
+        prediction = Tensor([1.0, 2.0, 3.0])
+        target = np.array([1.0, 0.0, 6.0])
+        assert l1_loss(prediction, target).item() == pytest.approx((0 + 2 + 3) / 3)
+
+    def test_sum_reduction(self):
+        assert l1_loss(Tensor([1.0, -1.0]), np.zeros(2), reduction="sum").item() == pytest.approx(2.0)
+
+    def test_none_reduction_shape(self):
+        loss = l1_loss(Tensor(np.ones((2, 3))), np.zeros((2, 3)), reduction="none")
+        assert loss.shape == (2, 3)
+
+    def test_gradient(self, rng):
+        prediction_array = rng.standard_normal((3, 4))
+        target = rng.standard_normal((3, 4))
+        prediction = Tensor(prediction_array, requires_grad=True)
+        l1_loss(prediction, target).backward()
+        numeric = numerical_gradient(
+            lambda: float(l1_loss(Tensor(prediction_array), target).data), prediction_array
+        )
+        np.testing.assert_allclose(prediction.grad, numeric, atol=1e-6)
+
+    def test_zero_at_perfect_prediction(self, rng):
+        target = rng.standard_normal((4,))
+        assert l1_loss(Tensor(target.copy()), target).item() == pytest.approx(0.0)
+
+
+class TestMseLoss:
+    def test_value(self):
+        assert mse_loss(Tensor([2.0, 0.0]), np.array([0.0, 0.0])).item() == pytest.approx(2.0)
+
+    def test_gradient(self, rng):
+        prediction_array = rng.standard_normal((5,))
+        target = rng.standard_normal((5,))
+        prediction = Tensor(prediction_array, requires_grad=True)
+        mse_loss(prediction, target).backward()
+        expected = 2.0 * (prediction_array - target) / 5.0
+        np.testing.assert_allclose(prediction.grad, expected, rtol=1e-9)
+
+
+class TestHuberLoss:
+    def test_quadratic_region_matches_mse_over_two(self):
+        prediction = Tensor([0.5])
+        target = np.array([0.0])
+        assert huber_loss(prediction, target, delta=1.0).item() == pytest.approx(0.125)
+
+    def test_linear_region(self):
+        prediction = Tensor([3.0])
+        target = np.array([0.0])
+        assert huber_loss(prediction, target, delta=1.0).item() == pytest.approx(1.0 * (3.0 - 0.5))
+
+    def test_gradient_finite(self, rng):
+        prediction_array = rng.standard_normal((6,)) * 3
+        target = rng.standard_normal((6,))
+        prediction = Tensor(prediction_array, requires_grad=True)
+        huber_loss(prediction, target, delta=1.0).backward()
+        numeric = numerical_gradient(
+            lambda: float(huber_loss(Tensor(prediction_array), target, delta=1.0).data),
+            prediction_array,
+        )
+        np.testing.assert_allclose(prediction.grad, numeric, atol=1e-5)
+
+    def test_rejects_non_positive_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(Tensor([1.0]), np.zeros(1), delta=0.0)
+
+
+def test_unknown_reduction_rejected():
+    with pytest.raises(ValueError):
+        l1_loss(Tensor([1.0]), np.zeros(1), reduction="median")

@@ -1,0 +1,108 @@
+"""Tests for repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Conv2d, Linear, ReLU, Sequential, Tensor, l1_loss, mse_loss
+from repro.nn.modules import Parameter
+
+
+def _quadratic_problem():
+    """A single parameter whose optimum is at 3.0."""
+    parameter = Parameter(np.array([0.0]))
+
+    def loss_fn():
+        return mse_loss(parameter * 1.0, np.array([3.0]))
+
+    return parameter, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        parameter, loss_fn = _quadratic_problem()
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert parameter.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_momentum_accelerates(self):
+        parameter_plain, loss_plain = _quadratic_problem()
+        parameter_momentum, loss_momentum = _quadratic_problem()
+        plain = SGD([parameter_plain], learning_rate=0.01)
+        momentum = SGD([parameter_momentum], learning_rate=0.01, momentum=0.9)
+        for _ in range(50):
+            for optimizer, loss_fn in ((plain, loss_plain), (momentum, loss_momentum)):
+                optimizer.zero_grad()
+                loss_fn().backward()
+                optimizer.step()
+        assert abs(parameter_momentum.data[0] - 3.0) < abs(parameter_plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], learning_rate=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        parameter.grad = np.array([0.0])
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=1.0)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], learning_rate=0.5)
+        optimizer.step()  # no gradient accumulated yet
+        assert parameter.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter, loss_fn = _quadratic_problem()
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert parameter.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_trains_small_conv_net(self, rng):
+        # Fit y = 2x with a two-layer conv net; the loss must drop clearly.
+        network = Sequential(
+            Conv2d(1, 4, kernel_size=3, seed=0), ReLU(), Conv2d(4, 1, kernel_size=3, seed=1)
+        )
+        optimizer = Adam(network.parameters(), learning_rate=1e-2)
+        inputs = rng.random((8, 1, 6, 6))
+        targets = 2.0 * inputs
+        first_loss = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = l1_loss(network(Tensor(inputs)), targets)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.4 * first_loss
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_linear_regression_recovers_weights(self, rng):
+        true_weight = np.array([[2.0, -1.0]])
+        layer = Linear(2, 1, seed=0)
+        optimizer = Adam(layer.parameters(), learning_rate=5e-2)
+        inputs = rng.standard_normal((64, 2))
+        targets = inputs @ true_weight.T
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = mse_loss(layer(Tensor(inputs)), targets)
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_weight, atol=0.05)

@@ -1,0 +1,40 @@
+"""Tests for repro.nn.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, ReLU, Sequential, Tensor, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def model():
+    return Sequential(Conv2d(1, 2, seed=0), ReLU(), Conv2d(2, 1, seed=1))
+
+
+class TestCheckpointRoundtrip:
+    def test_weights_restored(self, model, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        clone = Sequential(Conv2d(1, 2, seed=5), ReLU(), Conv2d(2, 1, seed=6))
+        load_checkpoint(clone, path)
+        x = Tensor(rng.random((1, 1, 5, 5)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_metadata_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        metadata = {"normalizer": {"scale": 2.0}, "note": "hello"}
+        save_checkpoint(model, path, metadata=metadata)
+        loaded = load_checkpoint(model, path)
+        assert loaded == metadata
+
+    def test_no_metadata_returns_none(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        assert load_checkpoint(model, path) is None
+
+    def test_incompatible_model_rejected(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        other = Sequential(Conv2d(1, 3, seed=0))
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)

@@ -1,0 +1,77 @@
+"""Tests for repro.pdn.loads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn.geometry import DieArea
+from repro.pdn.loads import generate_load_placement
+
+
+class TestGenerateLoadPlacement:
+    def test_counts_and_total_current(self):
+        die = DieArea(1000.0, 1000.0)
+        placement = generate_load_placement(die, num_loads=100, total_current=5.0, seed=0)
+        assert placement.num_loads == 100
+        assert placement.total_nominal_current == pytest.approx(5.0)
+
+    def test_locations_inside_die(self):
+        die = DieArea(500.0, 300.0)
+        placement = generate_load_placement(die, 200, 1.0, seed=1)
+        assert placement.locations[:, 0].min() >= 0
+        assert placement.locations[:, 0].max() <= die.width
+        assert placement.locations[:, 1].max() <= die.height
+
+    def test_cluster_assignment(self):
+        die = DieArea(1000.0, 1000.0)
+        placement = generate_load_placement(
+            die, 100, 1.0, num_clusters=3, cluster_fraction=0.5, seed=2
+        )
+        assert placement.num_clusters <= 3
+        clustered = np.count_nonzero(placement.cluster_id >= 0)
+        assert clustered == 50
+
+    def test_zero_cluster_fraction_gives_background_only(self):
+        die = DieArea(100.0, 100.0)
+        placement = generate_load_placement(die, 50, 1.0, cluster_fraction=0.0, seed=0)
+        assert placement.num_clusters == 0
+        assert np.all(placement.cluster_id == -1)
+
+    def test_reproducible(self):
+        die = DieArea(100.0, 100.0)
+        a = generate_load_placement(die, 30, 1.0, seed=5)
+        b = generate_load_placement(die, 30, 1.0, seed=5)
+        np.testing.assert_allclose(a.locations, b.locations)
+        np.testing.assert_allclose(a.nominal_currents, b.nominal_currents)
+
+    def test_currents_positive(self):
+        die = DieArea(100.0, 100.0)
+        placement = generate_load_placement(die, 80, 2.0, seed=3)
+        assert np.all(placement.nominal_currents > 0)
+
+    def test_rejects_bad_arguments(self):
+        die = DieArea(100.0, 100.0)
+        with pytest.raises(ValueError):
+            generate_load_placement(die, 0, 1.0)
+        with pytest.raises(ValueError):
+            generate_load_placement(die, 10, -1.0)
+        with pytest.raises(ValueError):
+            generate_load_placement(die, 10, 1.0, cluster_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_load_placement(die, 10, 1.0, num_clusters=-1)
+
+    @given(
+        num_loads=st.integers(1, 300),
+        total=st.floats(0.1, 50.0),
+        fraction=st.floats(0.0, 1.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_current_always_preserved(self, num_loads, total, fraction, seed):
+        die = DieArea(200.0, 200.0)
+        placement = generate_load_placement(
+            die, num_loads, total, cluster_fraction=fraction, seed=seed
+        )
+        assert placement.total_nominal_current == pytest.approx(total, rel=1e-9)
+        assert placement.num_loads == num_loads

@@ -1,0 +1,78 @@
+"""Tests for repro.pdn.netlist (SPICE export / import round trip)."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.pdn import build_mna, netlist_to_string, read_netlist, write_netlist
+from repro.pdn.netlist import Netlist
+from repro.pdn.stamps import REFERENCE_NODE, assemble_conductance
+
+
+class TestWriteNetlist:
+    def test_contains_all_element_types(self, tiny_design):
+        text = netlist_to_string(tiny_design.mna, tiny_design.loads.nominal_currents)
+        assert text.startswith("*")
+        assert ".end" in text
+        for prefix in ("R", "C", "L", "I"):
+            assert any(line.startswith(prefix) for line in text.splitlines())
+
+    def test_write_to_file(self, tiny_design, tmp_path):
+        path = tmp_path / "grid.sp"
+        write_netlist(tiny_design.mna, path)
+        assert path.exists()
+        assert path.read_text().endswith(".end\n")
+
+
+class TestReadNetlist:
+    def test_roundtrip_counts(self, tiny_design):
+        mna = tiny_design.mna
+        text = netlist_to_string(mna, tiny_design.loads.nominal_currents)
+        parsed = read_netlist(io.StringIO(text))
+        assert parsed.num_nodes == mna.num_nodes
+        assert parsed.num_inductors == mna.num_inductors
+        assert parsed.num_loads == mna.num_loads
+        # Every positive capacitance becomes one card.
+        assert parsed.num_capacitors == int(np.count_nonzero(mna.cap_diag > 0))
+
+    def test_roundtrip_preserves_conductance_matrix(self, tiny_design):
+        mna = tiny_design.mna
+        text = netlist_to_string(mna)
+        parsed = read_netlist(io.StringIO(text))
+        rebuilt = assemble_conductance(
+            parsed.num_nodes,
+            np.array(parsed.res_a),
+            np.array(parsed.res_b),
+            1.0 / np.array(parsed.res_value),
+        )
+        difference = abs(rebuilt - mna.conductance).max()
+        assert difference < 1e-6
+
+    def test_rejects_malformed_card(self):
+        with pytest.raises(ValueError):
+            read_netlist(io.StringIO("R1 1 2\n.end\n"))
+
+    def test_rejects_unknown_card(self):
+        with pytest.raises(ValueError):
+            read_netlist(io.StringIO("Q1 1 2 3.0\n.end\n"))
+
+    def test_rejects_floating_capacitor(self):
+        with pytest.raises(ValueError):
+            read_netlist(io.StringIO("C1 1 2 1e-12\n.end\n"))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "* comment\n\nR1 1 0 2.0\n.end\n"
+        parsed = read_netlist(io.StringIO(text))
+        assert parsed.num_resistors == 1
+        assert parsed.res_b[0] == REFERENCE_NODE
+
+
+class TestNetlistDataclass:
+    def test_empty_counts(self):
+        netlist = Netlist()
+        assert netlist.num_resistors == 0
+        assert netlist.num_capacitors == 0
+        assert netlist.num_inductors == 0
+        assert netlist.num_loads == 0

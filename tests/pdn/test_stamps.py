@@ -1,0 +1,118 @@
+"""Tests for repro.pdn.stamps (MNA assembly)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn import PackageModel, build_mna, small_test_design
+from repro.pdn.stamps import REFERENCE_NODE, assemble_conductance
+
+
+class TestAssembleConductance:
+    def test_two_node_resistor(self):
+        matrix = assemble_conductance(2, np.array([0]), np.array([1]), np.array([0.5]))
+        dense = matrix.toarray()
+        np.testing.assert_allclose(dense, [[0.5, -0.5], [-0.5, 0.5]])
+
+    def test_reference_branch_only_touches_diagonal(self):
+        matrix = assemble_conductance(
+            2, np.array([1]), np.array([REFERENCE_NODE]), np.array([2.0])
+        )
+        dense = matrix.toarray()
+        np.testing.assert_allclose(dense, [[0.0, 0.0], [0.0, 2.0]])
+
+    def test_symmetry(self, rng):
+        num_nodes = 20
+        a = rng.integers(0, num_nodes, 50)
+        b = rng.integers(-1, num_nodes, 50)
+        keep = a != b
+        g = rng.random(50) + 0.1
+        matrix = assemble_conductance(num_nodes, a[keep], b[keep], g[keep])
+        assert (matrix != matrix.T).nnz == 0
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(ValueError):
+            assemble_conductance(2, np.array([0]), np.array([1]), np.array([-1.0]))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            assemble_conductance(2, np.array([0, 1]), np.array([1]), np.array([1.0]))
+
+    def test_empty_branches(self):
+        matrix = assemble_conductance(3, np.array([], dtype=int), np.array([], dtype=int), np.array([]))
+        assert matrix.nnz == 0
+
+    @given(seed=st.integers(0, 500), num_nodes=st.integers(2, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_row_sums_nonnegative(self, seed, num_nodes):
+        # Row sums equal the conductance to the reference, hence >= 0.
+        generator = np.random.default_rng(seed)
+        count = 3 * num_nodes
+        a = generator.integers(0, num_nodes, count)
+        b = generator.integers(-1, num_nodes, count)
+        keep = a != b
+        g = generator.random(count)[keep] + 0.01
+        matrix = assemble_conductance(num_nodes, a[keep], b[keep], g)
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.all(row_sums >= -1e-12)
+
+
+class TestBuildMna:
+    def test_dimensions_with_package(self, tiny_design):
+        mna = tiny_design.mna
+        # Package adds one internal node per bump (plus ESR nodes for bulk decap).
+        assert mna.num_nodes > mna.num_die_nodes
+        assert mna.num_inductors == tiny_design.grid.num_bumps
+
+    def test_conductance_spd_for_static_matrix(self, tiny_design):
+        static = tiny_design.mna.static_conductance()
+        # Symmetric
+        assert abs(static - static.T).max() < 1e-9
+        # Positive definite: all eigenvalues of a small design are positive.
+        eigenvalues = np.linalg.eigvalsh(static.toarray())
+        assert eigenvalues.min() > 0
+
+    def test_capacitance_nonnegative(self, tiny_design):
+        assert np.all(tiny_design.mna.cap_diag >= 0)
+
+    def test_load_vector_scatter(self, tiny_design):
+        mna = tiny_design.mna
+        currents = np.ones(mna.num_loads)
+        rhs = mna.load_vector(currents)
+        assert rhs.sum() == pytest.approx(mna.num_loads)
+        assert rhs.shape == (mna.num_nodes,)
+
+    def test_load_vector_rejects_wrong_length(self, tiny_design):
+        with pytest.raises(ValueError):
+            tiny_design.mna.load_vector(np.ones(3))
+
+    def test_inductor_branch_conductance_validation(self, tiny_design):
+        with pytest.raises(ValueError):
+            tiny_design.mna.conductance_with_inductor_branches(np.ones(2))
+
+    def test_without_package_bumps_grounded(self, tiny_design):
+        mna = build_mna(tiny_design.grid, package=None)
+        assert mna.num_nodes == mna.num_die_nodes
+        assert mna.num_inductors == 0
+        # Static matrix should still be non-singular.
+        static = mna.static_conductance()
+        solution = sp.linalg.spsolve(static, mna.load_vector(np.ones(mna.num_loads)))
+        assert np.all(np.isfinite(solution))
+
+    def test_bulk_decap_without_esr_adds_no_extra_nodes(self, tiny_design):
+        package = PackageModel(
+            bump_resistance=25e-3, bump_inductance=30e-12, bulk_decap=1e-10, bulk_decap_esr=0.0
+        )
+        mna = build_mna(tiny_design.grid, package)
+        expected = tiny_design.grid.num_nodes + tiny_design.grid.num_bumps
+        assert mna.num_nodes == expected
+
+    def test_bulk_decap_with_esr_adds_esr_nodes(self, tiny_design):
+        package = PackageModel(
+            bump_resistance=25e-3, bump_inductance=30e-12, bulk_decap=1e-10, bulk_decap_esr=5e-3
+        )
+        mna = build_mna(tiny_design.grid, package)
+        expected = tiny_design.grid.num_nodes + 2 * tiny_design.grid.num_bumps
+        assert mna.num_nodes == expected

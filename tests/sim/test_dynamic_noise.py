@@ -1,0 +1,75 @@
+"""Tests for repro.sim.dynamic_noise."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dynamic_noise import DynamicNoiseAnalysis, worst_case_summary
+from repro.sim.transient import TransientOptions
+from repro.sim.waveform import CurrentTrace
+
+
+@pytest.fixture(scope="module")
+def analysis_and_result(tiny_design, tiny_traces):
+    analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+    return analysis, analysis.run(tiny_traces[0])
+
+
+class TestDynamicNoiseAnalysis:
+    def test_tile_map_shape(self, tiny_design, analysis_and_result):
+        _, result = analysis_and_result
+        assert result.tile_noise.shape == tiny_design.tile_grid.shape
+        assert result.node_noise.shape == (tiny_design.mna.num_die_nodes,)
+
+    def test_worst_noise_equals_tile_maximum(self, analysis_and_result):
+        _, result = analysis_and_result
+        assert result.worst_noise == pytest.approx(result.node_noise.max())
+        assert result.max_tile_noise == pytest.approx(result.worst_noise, rel=1e-9)
+
+    def test_hotspot_map_consistent_with_threshold(self, tiny_design, analysis_and_result):
+        _, result = analysis_and_result
+        threshold = tiny_design.spec.hotspot_threshold
+        np.testing.assert_array_equal(result.hotspot_map, result.tile_noise > threshold)
+        assert 0.0 <= result.hotspot_ratio <= 1.0
+
+    def test_runtime_recorded(self, analysis_and_result):
+        _, result = analysis_and_result
+        assert result.runtime_seconds > 0
+
+    def test_run_many_reuses_engine(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        results = analysis.run_many(tiny_traces[:3])
+        assert len(results) == 3
+        assert all(r.tile_noise.shape == tiny_design.tile_grid.shape for r in results)
+
+    def test_scaling_currents_scales_noise(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        base = analysis.run(tiny_traces[0])
+        double = analysis.run(tiny_traces[0].scaled(2.0))
+        # The PDN is linear: doubling all currents doubles every droop.
+        np.testing.assert_allclose(double.tile_noise, 2.0 * base.tile_noise, rtol=1e-6)
+
+    def test_more_current_more_hotspots(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        base = analysis.run(tiny_traces[0])
+        double = analysis.run(tiny_traces[0].scaled(2.0))
+        assert double.hotspot_ratio >= base.hotspot_ratio
+
+    def test_rejects_bad_dt(self, tiny_design):
+        with pytest.raises(ValueError):
+            DynamicNoiseAnalysis(tiny_design, dt=-1e-12)
+
+
+class TestWorstCaseSummary:
+    def test_summary_fields(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        results = analysis.run_many(tiny_traces[:4])
+        summary = worst_case_summary(results)
+        assert summary["num_vectors"] == 4
+        assert summary["mean_worst_noise_mV"] > 0
+        assert summary["max_worst_noise_mV"] >= summary["mean_worst_noise_mV"]
+        assert 0.0 <= summary["hotspot_ratio"] <= 1.0
+        assert summary["total_runtime_s"] >= summary["mean_runtime_s"]
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_summary([])

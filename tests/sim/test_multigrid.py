@@ -1,0 +1,58 @@
+"""Tests for repro.sim.multigrid."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sim.linear import ConjugateGradientSolver
+from repro.sim.multigrid import MultigridSolver
+
+
+def _grid_matrix(design):
+    return design.mna.static_conductance()
+
+
+class TestMultigridSolver:
+    def test_solves_power_grid_system(self, tiny_design):
+        matrix = _grid_matrix(tiny_design)
+        rhs = tiny_design.mna.load_vector(tiny_design.loads.nominal_currents)
+        reference = sp.linalg.spsolve(matrix, rhs)
+        solver = MultigridSolver(matrix, tolerance=1e-10)
+        solution = solver.solve(rhs)
+        np.testing.assert_allclose(solution, reference, rtol=1e-5, atol=1e-9)
+
+    def test_builds_multiple_levels(self, tiny_design):
+        solver = MultigridSolver(_grid_matrix(tiny_design), coarse_size=50)
+        assert solver.num_levels >= 2
+
+    def test_zero_rhs_returns_zero(self, tiny_design):
+        solver = MultigridSolver(_grid_matrix(tiny_design))
+        matrix_size = solver.size
+        np.testing.assert_allclose(solver.solve(np.zeros(matrix_size)), 0.0)
+        assert solver.cycles_used == 0
+
+    def test_converges_in_few_cycles(self, tiny_design):
+        matrix = _grid_matrix(tiny_design)
+        rhs = tiny_design.mna.load_vector(tiny_design.loads.nominal_currents)
+        solver = MultigridSolver(matrix, tolerance=1e-8)
+        solver.solve(rhs)
+        assert solver.cycles_used < 60
+
+    def test_as_cg_preconditioner(self, tiny_design):
+        matrix = _grid_matrix(tiny_design)
+        rhs = tiny_design.mna.load_vector(tiny_design.loads.nominal_currents)
+        reference = sp.linalg.spsolve(matrix, rhs)
+        amg = MultigridSolver(matrix)
+        cg = ConjugateGradientSolver(matrix, preconditioner=amg.as_preconditioner(), tolerance=1e-12)
+        solution = cg.solve(rhs)
+        np.testing.assert_allclose(solution, reference, rtol=1e-6, atol=1e-10)
+
+    def test_rejects_bad_omega(self, tiny_design):
+        with pytest.raises(ValueError):
+            MultigridSolver(_grid_matrix(tiny_design), omega=1.5)
+
+    def test_small_matrix_degenerates_to_direct(self):
+        matrix = sp.csc_matrix(np.array([[2.0, -1.0], [-1.0, 2.0]]))
+        solver = MultigridSolver(matrix, coarse_size=10)
+        rhs = np.array([1.0, 0.0])
+        np.testing.assert_allclose(solver.solve(rhs), np.linalg.solve(matrix.toarray(), rhs))

@@ -1,0 +1,76 @@
+"""Tests for repro.sim.random_walk."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sim.random_walk import RandomWalkSolver
+
+
+def _small_resistive_network():
+    """A 1-D chain of 5 nodes with both ends grounded through resistors."""
+    size = 5
+    g = 1.0
+    matrix = sp.lil_matrix((size, size))
+    for i in range(size - 1):
+        matrix[i, i] += g
+        matrix[i + 1, i + 1] += g
+        matrix[i, i + 1] -= g
+        matrix[i + 1, i] -= g
+    # Grounded branches at both ends.
+    matrix[0, 0] += g
+    matrix[size - 1, size - 1] += g
+    return sp.csc_matrix(matrix)
+
+
+class TestRandomWalkSolver:
+    def test_estimate_matches_direct_solution(self):
+        matrix = _small_resistive_network()
+        rhs = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        reference = sp.linalg.spsolve(matrix, rhs)
+        solver = RandomWalkSolver(matrix, rhs)
+        estimate = solver.estimate_node(2, num_walks=4000, seed=0)
+        assert estimate.mean == pytest.approx(reference[2], rel=0.1)
+
+    def test_confidence_interval_contains_truth(self):
+        matrix = _small_resistive_network()
+        rhs = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        reference = sp.linalg.spsolve(matrix, rhs)
+        solver = RandomWalkSolver(matrix, rhs)
+        estimate = solver.estimate_node(1, num_walks=5000, seed=1)
+        low, high = estimate.confidence_interval(z=3.0)
+        assert low <= reference[1] <= high
+
+    def test_estimate_nodes_multiple(self):
+        matrix = _small_resistive_network()
+        rhs = np.ones(5)
+        solver = RandomWalkSolver(matrix, rhs)
+        estimates = solver.estimate_nodes(np.array([0, 4]), num_walks=500, seed=2)
+        assert len(estimates) == 2
+        assert estimates[0].num_walks == 500
+
+    def test_on_power_grid_node(self, tiny_design):
+        matrix = tiny_design.mna.static_conductance()
+        rhs = tiny_design.mna.load_vector(tiny_design.loads.nominal_currents)
+        reference = sp.linalg.spsolve(matrix, rhs)
+        node = int(tiny_design.mna.load_nodes[0])
+        solver = RandomWalkSolver(matrix, rhs)
+        estimate = solver.estimate_node(node, num_walks=1500, seed=3)
+        # Monte-Carlo estimate: allow a generous tolerance.
+        assert estimate.mean == pytest.approx(reference[node], rel=0.25, abs=2e-3)
+
+    def test_rejects_invalid_node(self):
+        matrix = _small_resistive_network()
+        solver = RandomWalkSolver(matrix, np.ones(5))
+        with pytest.raises(ValueError):
+            solver.estimate_node(99)
+
+    def test_rejects_wrong_rhs_length(self):
+        matrix = _small_resistive_network()
+        with pytest.raises(ValueError):
+            RandomWalkSolver(matrix, np.ones(3))
+
+    def test_rejects_positive_offdiagonal(self):
+        bad = sp.csc_matrix(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            RandomWalkSolver(bad, np.ones(2))

@@ -1,0 +1,125 @@
+"""Tests for repro.sim.transient."""
+
+import numpy as np
+import pytest
+
+from repro.sim.static_ir import StaticIRAnalysis
+from repro.sim.transient import TransientEngine, TransientOptions
+from repro.sim.waveform import CurrentTrace
+
+
+def _constant_trace(design, level: float, steps: int, dt: float) -> CurrentTrace:
+    currents = np.tile(level * design.loads.nominal_currents, (steps, 1))
+    return CurrentTrace(currents, dt)
+
+
+def _step_trace(design, steps: int, dt: float, step_at: int) -> CurrentTrace:
+    currents = np.zeros((steps, design.num_loads))
+    currents[step_at:] = design.loads.nominal_currents
+    return CurrentTrace(currents, dt)
+
+
+class TestTransientOptions:
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            TransientOptions(method="forward_euler")
+
+    def test_rejects_unknown_initial_state(self):
+        with pytest.raises(ValueError):
+            TransientOptions(initial_state="warm")
+
+
+class TestTransientEngine:
+    def test_constant_current_stays_at_dc(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(tiny_design.mna, dt, TransientOptions(initial_state="dc"))
+        trace = _constant_trace(tiny_design, 1.0, 40, dt)
+        result = engine.run(trace)
+        static = StaticIRAnalysis(tiny_design.mna).solve(tiny_design.loads.nominal_currents)
+        # With DC initial conditions and constant excitation nothing moves.
+        np.testing.assert_allclose(result.final_droop, static, rtol=1e-3, atol=1e-5)
+        assert result.worst_droop == pytest.approx(static.max(), rel=1e-3)
+
+    def test_step_overshoots_dc_level(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(
+            tiny_design.mna, dt, TransientOptions(initial_state="zero", store_waveform=True)
+        )
+        result = engine.run(_step_trace(tiny_design, 300, dt, step_at=30))
+        static = StaticIRAnalysis(tiny_design.mna).solve(tiny_design.loads.nominal_currents)
+        # Dynamic first droop exceeds the static level (package resonance).
+        assert result.worst_droop > 1.2 * static.max()
+
+    def test_waveform_stored_when_requested(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(tiny_design.mna, dt, TransientOptions(store_waveform=True))
+        result = engine.run(_constant_trace(tiny_design, 0.5, 20, dt))
+        assert result.waveform is not None
+        assert result.waveform.num_steps == 20
+        assert result.waveform.num_nodes == tiny_design.mna.num_nodes
+
+    def test_waveform_omitted_by_default(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(tiny_design.mna, dt)
+        result = engine.run(_constant_trace(tiny_design, 0.5, 10, dt))
+        assert result.waveform is None
+
+    def test_max_droop_matches_stored_waveform(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(
+            tiny_design.mna, dt, TransientOptions(initial_state="zero", store_waveform=True)
+        )
+        result = engine.run(_step_trace(tiny_design, 120, dt, step_at=20))
+        np.testing.assert_allclose(
+            result.max_droop_per_node, result.waveform.droops.max(axis=0), rtol=1e-12
+        )
+
+    def test_trapezoidal_close_to_backward_euler(self, tiny_design):
+        dt = 5e-12
+        trace = _step_trace(tiny_design, 200, dt, step_at=20)
+        backward = TransientEngine(
+            tiny_design.mna, dt, TransientOptions(method="backward_euler", initial_state="zero")
+        ).run(trace)
+        trapezoid = TransientEngine(
+            tiny_design.mna, dt, TransientOptions(method="trapezoidal", initial_state="zero")
+        ).run(trace)
+        assert trapezoid.worst_droop == pytest.approx(backward.worst_droop, rel=0.15)
+
+    def test_backward_euler_converges_with_dt(self, tiny_design):
+        # Halving dt should change the worst droop only moderately (first-order
+        # convergence); a blow-up would indicate an unstable companion model.
+        coarse_dt, fine_dt = 2e-11, 1e-11
+        steps = 150
+        coarse = TransientEngine(
+            tiny_design.mna, coarse_dt, TransientOptions(initial_state="zero")
+        ).run(_step_trace(tiny_design, steps, coarse_dt, 20))
+        fine = TransientEngine(
+            tiny_design.mna, fine_dt, TransientOptions(initial_state="zero")
+        ).run(_step_trace(tiny_design, 2 * steps, fine_dt, 40))
+        assert fine.worst_droop == pytest.approx(coarse.worst_droop, rel=0.25)
+
+    def test_dt_mismatch_rejected(self, tiny_design):
+        engine = TransientEngine(tiny_design.mna, 1e-11)
+        with pytest.raises(ValueError):
+            engine.run(_constant_trace(tiny_design, 1.0, 10, 2e-11))
+
+    def test_load_count_mismatch_rejected(self, tiny_design):
+        engine = TransientEngine(tiny_design.mna, 1e-11)
+        with pytest.raises(ValueError):
+            engine.run(CurrentTrace(np.ones((10, 3)), 1e-11))
+
+    def test_zero_initial_state_starts_at_rest(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(
+            tiny_design.mna, dt, TransientOptions(initial_state="zero", store_waveform=True)
+        )
+        result = engine.run(_step_trace(tiny_design, 30, dt, step_at=10))
+        np.testing.assert_allclose(result.waveform.droops[0], 0.0, atol=1e-15)
+
+    def test_worst_time_index_in_range(self, tiny_design):
+        dt = 1e-11
+        engine = TransientEngine(tiny_design.mna, dt, TransientOptions(initial_state="zero"))
+        result = engine.run(_step_trace(tiny_design, 100, dt, step_at=50))
+        assert 0 <= result.worst_time_index < 100
+        # The worst droop happens after the current step is applied.
+        assert result.worst_time_index >= 50

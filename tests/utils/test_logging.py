@@ -1,0 +1,20 @@
+"""Tests for repro.utils.logging."""
+
+import logging
+
+from repro.utils.logging import get_logger
+
+
+def test_logger_lives_under_repro_namespace():
+    assert get_logger("something").name == "repro.something"
+
+
+def test_repro_prefixed_name_unchanged():
+    assert get_logger("repro.sim").name == "repro.sim"
+
+
+def test_root_has_single_handler_after_repeated_calls():
+    get_logger("a")
+    get_logger("b")
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1

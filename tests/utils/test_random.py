@@ -1,0 +1,52 @@
+"""Tests for repro.utils.random."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9, 10)
+        b = ensure_rng(2).integers(0, 10**9, 10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_invalid_seed_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [rng.random(5).tolist() for rng in rngs]
+        assert draws[0] != draws[1] and draws[1] != draws[2]
+
+    def test_reproducible(self):
+        first = [rng.random(3).tolist() for rng in spawn_rngs(5, 2)]
+        second = [rng.random(3).tolist() for rng in spawn_rngs(5, 2)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

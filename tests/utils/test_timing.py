@@ -1,0 +1,46 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Timer, timed
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        timer = Timer()
+        with timer.measure():
+            time.sleep(0.01)
+        assert timer.last >= 0.005
+        assert timer.total >= timer.last
+        assert timer.count == 1
+
+    def test_accumulates(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer.measure():
+                pass
+        assert timer.count == 3
+        assert timer.mean <= timer.total
+
+    def test_reset(self):
+        timer = Timer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.total == 0.0 and timer.count == 0 and timer.last == 0.0
+
+    def test_mean_of_empty_timer_is_zero(self):
+        assert Timer().mean == 0.0
+
+
+class TestTimed:
+    def test_returns_value_and_elapsed(self):
+        result, elapsed = timed(lambda x: x * 2)(21)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_preserves_name(self):
+        def my_function():
+            return 1
+
+        assert timed(my_function).__name__ == "my_function"

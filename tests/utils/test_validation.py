@@ -1,0 +1,95 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_same_length,
+    check_shape,
+)
+
+
+class TestCheckFinite:
+    def test_passes_finite(self):
+        array = np.array([1.0, 2.0])
+        assert check_finite(array, "x") is not None
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="x contains"):
+            check_finite(np.array([1.0, np.nan]), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite(np.array([np.inf]), "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "v") == 0.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "v")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "v", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "v", strict=False)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(1.0, 1.0, 2.0) == 1.0
+
+    def test_exclusive_bounds_reject_edge(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 1.0, 2.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(3.0, 0.0, 2.0)
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        check_shape(np.zeros((2, 3)), (2, 3))
+
+    def test_wildcard(self):
+        check_shape(np.zeros((5, 3)), (None, 3))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros((2,)), (2, 3))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            check_shape(np.zeros((2, 4)), (2, 3), name="arr")
+
+
+class TestCheckSameLength:
+    def test_matching(self):
+        assert check_same_length({"a": [1, 2], "b": (3, 4)}) == 2
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            check_same_length({"a": [1], "b": [1, 2]})
+
+    def test_empty(self):
+        assert check_same_length({}) == 0

@@ -1,0 +1,56 @@
+"""Tests for repro.workloads.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenarios import build_scenario, scenario_names
+
+
+class TestScenarioNames:
+    def test_expected_scenarios_present(self):
+        names = scenario_names()
+        assert "power_virus" in names
+        assert "idle_to_turbo" in names
+        assert "steady_state" in names
+        assert len(names) >= 5
+
+
+class TestBuildScenario:
+    @pytest.mark.parametrize("name", ["idle_to_turbo", "power_virus", "clock_gating_storm",
+                                      "single_core_sprint", "steady_state"])
+    def test_all_scenarios_build(self, tiny_design, name):
+        trace = build_scenario(name, tiny_design, num_steps=60)
+        assert trace.num_steps == 60
+        assert trace.num_loads == tiny_design.num_loads
+        assert trace.currents.min() >= 0
+        assert name in trace.name
+
+    def test_unknown_scenario_rejected(self, tiny_design):
+        with pytest.raises(ValueError):
+            build_scenario("quantum_storm", tiny_design)
+
+    def test_power_virus_draws_most_current(self, tiny_design):
+        virus = build_scenario("power_virus", tiny_design, num_steps=80)
+        steady = build_scenario("steady_state", tiny_design, num_steps=80)
+        assert virus.total_current().max() > steady.total_current().max()
+
+    def test_idle_to_turbo_is_monotone_overall(self, tiny_design):
+        trace = build_scenario("idle_to_turbo", tiny_design, num_steps=100)
+        totals = trace.total_current()
+        assert totals[-1] > totals[0]
+
+    def test_steady_state_has_low_variation(self, tiny_design):
+        trace = build_scenario("steady_state", tiny_design, num_steps=50)
+        totals = trace.total_current()
+        assert totals.std() / totals.mean() < 1e-9
+
+    def test_rejects_bad_arguments(self, tiny_design):
+        with pytest.raises(ValueError):
+            build_scenario("power_virus", tiny_design, num_steps=1)
+        with pytest.raises(ValueError):
+            build_scenario("power_virus", tiny_design, dt=0.0)
+
+    def test_reproducible_with_seed(self, tiny_design):
+        a = build_scenario("single_core_sprint", tiny_design, num_steps=40, seed=5)
+        b = build_scenario("single_core_sprint", tiny_design, num_steps=40, seed=5)
+        np.testing.assert_allclose(a.currents, b.currents)
