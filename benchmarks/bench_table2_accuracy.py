@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from common import get_dataset, get_result, save_records
-from repro.io import ExperimentRecord
+from repro.io import ExperimentRecord, latency_throughput_columns
 from repro.pdn import reference_design_names
 
 
@@ -21,6 +21,9 @@ def _table2_record(name: str) -> ExperimentRecord:
     result = get_result(name)
     report = result.report
     runtime = result.runtime
+    # Per-vector latencies kept by the pipeline's evaluate stage (measured
+    # one vector at a time, so the p50/p95 columns are true latencies).
+    per_vector_runtimes = runtime.per_vector_seconds
     return ExperimentRecord(
         experiment="table2",
         label=name,
@@ -37,6 +40,7 @@ def _table2_record(name: str) -> ExperimentRecord:
             "speedup": runtime.speedup,
             "hotspot_missing_%": report.hotspot_missing_rate * 100.0,
             "test_vectors": runtime.num_vectors,
+            **latency_throughput_columns(per_vector_runtimes),
         },
     )
 

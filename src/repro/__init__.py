@@ -34,6 +34,12 @@ from repro.core import (
     WorstCaseNoiseFramework,
     WorstCaseNoiseNet,
 )
+from repro.serving import (
+    PredictorRegistry,
+    ScenarioJob,
+    ScreeningService,
+    screen_scenarios,
+)
 
 __version__ = "0.1.0"
 
@@ -62,5 +68,9 @@ __all__ = [
     "TrainingConfig",
     "WorstCaseNoiseFramework",
     "WorstCaseNoiseNet",
+    "PredictorRegistry",
+    "ScenarioJob",
+    "ScreeningService",
+    "screen_scenarios",
     "__version__",
 ]

@@ -9,6 +9,7 @@ speedup over the simulator can be reported (Table 2).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -23,10 +24,10 @@ from repro.features.extraction import (
     VectorFeatures,
     extract_vector_features,
 )
-from repro.nn import load_checkpoint, no_grad, save_checkpoint
+from repro.nn import load_checkpoint, load_extras, no_grad, save_checkpoint
 from repro.pdn.designs import Design
 from repro.sim.waveform import CurrentTrace
-from repro.utils import Timer, check_positive
+from repro.utils import Timer, check_non_negative, check_positive
 from repro.workloads.dataset import NoiseDataset
 
 
@@ -44,8 +45,12 @@ class PredictionResult:
         return float(np.max(self.noise_map))
 
     def hotspot_map(self, threshold: float) -> np.ndarray:
-        """Boolean hotspot map at an absolute threshold (V)."""
-        check_positive(threshold, "threshold")
+        """Boolean hotspot map at an absolute threshold (V).
+
+        A threshold of exactly 0 V is valid (every tile with any predicted
+        droop counts as a hotspot); negative thresholds are rejected.
+        """
+        check_non_negative(threshold, "threshold")
         return self.noise_map > threshold
 
 
@@ -84,6 +89,63 @@ class NoisePredictor:
         self.compression_rate = compression_rate
         self.rate_step = rate_step
         self._normalized_distance = normalizer.normalize_distance(self.distance)
+        self._fingerprint: Optional[tuple] = None
+        self._reduced_distance: Optional[tuple] = None
+
+    def _weights_token(self) -> tuple:
+        """Cheap validity token for the memoised derived values.
+
+        Every weight update in this code base (optimisers, ``load_state_dict``,
+        manual assignment) rebinds ``parameter.data`` to a fresh array, so the
+        tuple of array *objects* changes whenever the model changes; memos
+        validate the arrays by identity instead of rehashing the weights on
+        every request (strong references mean a recycled ``id`` can never make
+        a stale memo look current).  Normaliser scales and Algorithm-1
+        settings are compared by value, so rebinding those also invalidates.
+        In-place surgery on a weight buffer (``param.data[:] = ...``) is the
+        one update style the token cannot see; nothing in this code base does
+        that.
+        """
+        arrays = tuple(parameter.data for parameter in self.model.parameters())
+        settings = (
+            self.normalizer.current_scale,
+            self.normalizer.distance_scale,
+            self.normalizer.noise_scale,
+            self.compression_rate,
+            self.rate_step,
+        )
+        return (arrays, settings)
+
+    @staticmethod
+    def _token_current(memo: Optional[tuple], token: tuple) -> bool:
+        """Whether a ``(token, value)`` memo matches the live token."""
+        if memo is None:
+            return False
+        old_arrays, old_settings = memo[0]
+        arrays, settings = token
+        if old_settings != settings or len(old_arrays) != len(arrays):
+            return False
+        return all(old is new for old, new in zip(old_arrays, arrays))
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of weights, normaliser, distance and settings.
+
+        Serving layers use this as the predictor *version*: any retrain,
+        renormalisation or settings change yields a different fingerprint, so
+        cached predictions can never be served across model updates.
+        """
+        token = self._weights_token()
+        if not self._token_current(self._fingerprint, token):
+            digest = hashlib.sha256()
+            for name, value in self.model.state_dict().items():
+                digest.update(name.encode())
+                digest.update(np.ascontiguousarray(value).tobytes())
+            digest.update(json.dumps(self.normalizer.to_dict(), sort_keys=True).encode())
+            digest.update(repr((self.compression_rate, self.rate_step)).encode())
+            digest.update(np.ascontiguousarray(self.distance).tobytes())
+            self._fingerprint = (token, digest.hexdigest())
+        return self._fingerprint[1]
 
     # ------------------------------------------------------------------ #
     # prediction entry points
@@ -116,30 +178,87 @@ class NoisePredictor:
             noise_map=result.noise_map, runtime_seconds=timer.last, name=trace.name
         )
 
+    def _cached_reduced_distance(self) -> np.ndarray:
+        """Reduced distance map memoised against the current weights.
+
+        The reduced map depends only on the distance-subnet weights and the
+        fixed design distance tensor, so it is recomputed exactly when the
+        weights change (see :meth:`_weights_token`).
+        """
+        token = self._weights_token()
+        if not self._token_current(self._reduced_distance, token):
+            with no_grad():
+                reduced = self.model.reduce_distance(self._normalized_distance).numpy()
+            self._reduced_distance = (token, reduced)
+        return self._reduced_distance[1]
+
+    def predict_batch(
+        self, features: Sequence[VectorFeatures], max_batch: int = 64
+    ) -> list[PredictionResult]:
+        """Predict a batch of vectors with one forward pass per ``max_batch``.
+
+        All stamps of up to ``max_batch`` vectors run through the CNN
+        together (see :meth:`WorstCaseNoiseNet.forward_batch`), which
+        amortises the per-call overhead and reduces the shared distance map
+        only once per chunk.  Per-vector ``runtime_seconds`` is the chunk
+        wall-clock divided by the chunk size (the amortised serving cost).
+        """
+        check_positive(max_batch, "max_batch")
+        results: list[PredictionResult] = []
+        for start in range(0, len(features), int(max_batch)):
+            chunk = features[start : start + int(max_batch)]
+            timer = Timer()
+            with timer.measure():
+                normalized = self.normalizer.normalize_current_batch(
+                    [item.current_maps for item in chunk]
+                )
+                with no_grad():
+                    prediction = self.model.forward_batch(
+                        normalized,
+                        self._normalized_distance,
+                        reduced_distance=self._cached_reduced_distance(),
+                    )
+                maps = self.normalizer.denormalize_noise(prediction.numpy())
+            per_vector = timer.last / len(chunk)
+            for index, item in enumerate(chunk):
+                results.append(
+                    PredictionResult(
+                        noise_map=maps[index],
+                        runtime_seconds=per_vector,
+                        name=item.name,
+                    )
+                )
+        return results
+
     def predict_dataset(
-        self, dataset: NoiseDataset, indices: Optional[Sequence[int]] = None
+        self,
+        dataset: NoiseDataset,
+        indices: Optional[Sequence[int]] = None,
+        max_batch: int = 64,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Predict every selected dataset sample.
+        """Predict every selected dataset sample (batched forward passes).
 
         Returns ``(maps, runtimes)`` with ``maps`` of shape
-        ``(num_selected, m, n)`` in volts.
+        ``(num_selected, m, n)`` in volts.  ``max_batch`` bounds how many
+        vectors share one forward pass; set it to 1 to recover the original
+        per-vector loop.
         """
         if indices is None:
             indices = range(len(dataset))
-        maps = []
-        runtimes = []
-        for index in indices:
-            result = self.predict_features(dataset.samples[int(index)].features)
-            maps.append(result.noise_map)
-            runtimes.append(result.runtime_seconds)
-        return np.stack(maps), np.array(runtimes)
+        selected = [dataset.samples[int(index)].features for index in indices]
+        if not selected:
+            return np.zeros((0,) + dataset.tile_shape), np.zeros(0)
+        results = self.predict_batch(selected, max_batch=max_batch)
+        maps = np.stack([result.noise_map for result in results])
+        runtimes = np.array([result.runtime_seconds for result in results])
+        return maps, runtimes
 
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
 
     def save(self, path: Union[str, Path]) -> None:
-        """Save model weights, normaliser and predictor settings to ``.npz``."""
+        """Save weights, normaliser, settings and distance tensor to one ``.npz``."""
         metadata = {
             "normalizer": self.normalizer.to_dict(),
             "compression_rate": self.compression_rate,
@@ -156,13 +275,19 @@ class NoisePredictor:
             },
             "distance_shape": list(self.distance.shape),
         }
-        save_checkpoint(self.model, path, metadata=metadata)
-        # The distance tensor itself is stored next to the weights.
-        np.savez_compressed(str(path) + ".distance.npz", distance=self.distance)
+        save_checkpoint(
+            self.model, Path(path), metadata=metadata, extras={"distance": self.distance}
+        )
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "NoisePredictor":
-        """Restore a predictor saved with :meth:`save`."""
+        """Restore a predictor saved with :meth:`save`.
+
+        Current checkpoints are self-contained; the legacy layout that kept
+        the distance tensor in a ``<name>.distance.npz`` sidecar next to the
+        weights is still read transparently.
+        """
+        path = Path(path)
         with np.load(path, allow_pickle=False) as data:
             if "__metadata_json__" not in data.files:
                 raise ValueError(f"checkpoint {path} is missing predictor metadata")
@@ -170,8 +295,18 @@ class NoisePredictor:
         config = ModelConfig(**metadata["model_config"])
         model = WorstCaseNoiseNet(num_bumps=int(metadata["num_bumps"]), config=config)
         load_checkpoint(model, path)
-        with np.load(str(path) + ".distance.npz") as data:
-            distance = data["distance"]
+        extras = load_extras(path)
+        if "distance" in extras:
+            distance = extras["distance"]
+        else:
+            sidecar = path.with_name(path.name + ".distance.npz")
+            if not sidecar.exists():
+                raise FileNotFoundError(
+                    f"checkpoint {path} stores no distance tensor and the legacy "
+                    f"sidecar {sidecar} does not exist"
+                )
+            with np.load(sidecar, allow_pickle=False) as data:
+                distance = data["distance"]
         return cls(
             model=model,
             normalizer=FeatureNormalizer.from_dict(metadata["normalizer"]),

@@ -16,7 +16,7 @@ against tile-by-tile approaches such as PowerNet.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -25,6 +25,10 @@ from repro.core.subnets import CurrentFusionNet, DistanceReductionNet, NoisePred
 from repro.nn import Module, Tensor, as_tensor, cat
 
 ArrayOrTensor = Union[np.ndarray, Tensor]
+
+#: A batch of test vectors: either a dense ``(N, T, m, n)`` stack (all vectors
+#: share the stamp count) or a sequence of ``(T_i, m, n)`` ragged stacks.
+CurrentBatch = Union[ArrayOrTensor, Sequence[ArrayOrTensor]]
 
 
 class WorstCaseNoiseNet(Module):
@@ -85,17 +89,119 @@ class WorstCaseNoiseNet(Module):
         num_steps, height, width = tensor.shape
         as_batch = tensor.reshape(num_steps, 1, height, width)
         fused = self.fusion_subnet(as_batch)  # (T, 1, m, n)
-        fused = fused.reshape(num_steps, height, width)
+        # Single source of truth for the statistics formulas: the same helper
+        # serves the batched path, so forward() and forward_batch() can never
+        # drift apart.
+        return self._temporal_statistics(
+            fused.reshape(1, num_steps, height, width), axis=1
+        )
 
-        maximum = fused.max(axis=0, keepdims=True)
-        minimum = fused.min(axis=0, keepdims=True)
-        mean = fused.mean(axis=0, keepdims=True)
-        std = fused.std(axis=0, keepdims=True)
+    def fuse_currents_batch(self, current_maps: CurrentBatch) -> Tensor:
+        """Fused current statistics ``(N, 3, m, n)`` for a batch of vectors.
+
+        Accepts either a dense ``(N, T, m, n)`` array (every vector retains
+        the same number of stamps) or a sequence of ``(T_i, m, n)`` stacks
+        (ragged batch, e.g. per-vector Algorithm-1 compression).  All stamps
+        of all vectors go through the weight-shared fusion subnet in a single
+        forward pass; the temporal statistics are then reduced per vector.
+        """
+        tensors, lengths = self._coerce_current_batch(current_maps)
+        height, width = tensors[0].shape[1], tensors[0].shape[2]
+        flat = tensors[0] if len(tensors) == 1 else cat(tensors, axis=0)
+        total = flat.shape[0]
+        fused = self.fusion_subnet(flat.reshape(total, 1, height, width))
+        fused = fused.reshape(total, height, width)
+
+        if len(set(lengths)) == 1:
+            # Uniform stamp counts: reduce along the stamp axis vectorized.
+            per_vector = fused.reshape(len(lengths), lengths[0], height, width)
+            return self._temporal_statistics(per_vector, axis=1)
+        # Ragged batch: bucket vectors by stamp count so each bucket still
+        # reduces vectorized, then restore the submission order.
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        buckets: dict[int, list[int]] = {}
+        for index, length in enumerate(lengths):
+            buckets.setdefault(length, []).append(index)
+        pieces = []
+        order: list[int] = []
+        for length, indices in buckets.items():
+            rows = np.concatenate(
+                [np.arange(offsets[i], offsets[i] + length) for i in indices]
+            )
+            segment = fused[rows]
+            stats = self._temporal_statistics(
+                segment.reshape(len(indices), length, height, width), axis=1
+            )
+            pieces.append(stats)
+            order.extend(indices)
+        stacked = pieces[0] if len(pieces) == 1 else cat(pieces, axis=0)
+        if order == sorted(order):
+            return stacked
+        return stacked[np.argsort(order)]
+
+    @staticmethod
+    def _temporal_statistics(per_vector: Tensor, axis: int) -> Tensor:
+        """``I_max`` / ``I_mean`` / ``I_msd`` along ``axis``, stacked as channels."""
+        maximum = per_vector.max(axis=axis, keepdims=True)
+        minimum = per_vector.min(axis=axis, keepdims=True)
+        mean = per_vector.mean(axis=axis, keepdims=True)
+        std = per_vector.std(axis=axis, keepdims=True)
         i_max = maximum
         i_mean = 0.5 * (maximum + minimum)
         i_msd = mean + 3.0 * std
-        stacked = cat([i_max, i_mean, i_msd], axis=0)  # (3, m, n)
-        return stacked.reshape(1, 3, height, width)
+        return cat([i_max, i_mean, i_msd], axis=axis)
+
+    def _coerce_current_batch(self, current_maps: CurrentBatch) -> tuple[list[Tensor], list[int]]:
+        """Normalise a batch argument into per-vector tensors plus lengths."""
+        if isinstance(current_maps, (Tensor, np.ndarray)):
+            tensor = as_tensor(current_maps)
+            if tensor.ndim != 4:
+                raise ValueError(
+                    f"batched current maps must have shape (N, T, m, n), got {tensor.shape}"
+                )
+            batch, num_steps, height, width = tensor.shape
+            return [tensor.reshape(batch * num_steps, height, width)], [num_steps] * batch
+        tensors = [as_tensor(maps) for maps in current_maps]
+        if not tensors:
+            raise ValueError("current-map batch is empty")
+        for tensor in tensors:
+            if tensor.ndim != 3:
+                raise ValueError(
+                    f"each vector's current maps must have shape (T, m, n), got {tensor.shape}"
+                )
+            if tensor.shape[1:] != tensors[0].shape[1:]:
+                raise ValueError(
+                    "all vectors in a batch must share the tile shape; got "
+                    f"{tensor.shape[1:]} and {tensors[0].shape[1:]}"
+                )
+        return tensors, [tensor.shape[0] for tensor in tensors]
+
+    def forward_batch(
+        self,
+        current_maps: CurrentBatch,
+        distance: ArrayOrTensor,
+        reduced_distance: Optional[ArrayOrTensor] = None,
+    ) -> Tensor:
+        """Predict (normalised) noise maps for N vectors in one pass, ``(N, m, n)``.
+
+        The distance tensor is shared by the whole batch (all vectors excite
+        the same design), so the distance subnet runs exactly once and its
+        reduced map is broadcast across the batch — unlike N calls of
+        :meth:`forward`, which would re-reduce it every time.  Serving layers
+        that predict for a fixed design over and over can precompute
+        ``reduced_distance`` (the :meth:`reduce_distance` output,
+        ``(1, 1, m, n)``) and skip even that single reduction.
+        """
+        fused_currents = self.fuse_currents_batch(current_maps)  # (N, 3, m, n)
+        batch, _, height, width = fused_currents.shape
+        if reduced_distance is None:
+            reduced_distance = self.reduce_distance(distance)  # (1, 1, m, n)
+        else:
+            reduced_distance = as_tensor(reduced_distance)
+        reduced_distance = reduced_distance.broadcast_to(batch, 1, height, width)
+        features = cat([fused_currents, reduced_distance], axis=1)  # (N, 4, m, n)
+        prediction = self.prediction_subnet(features)  # (N, 1, m, n)
+        return prediction.reshape(batch, height, width)
 
     def forward(self, current_maps: ArrayOrTensor, distance: ArrayOrTensor) -> Tensor:
         """Predict the (normalised) worst-case noise map, shape ``(m, n)``.

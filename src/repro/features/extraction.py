@@ -17,7 +17,7 @@ used by ablations and baselines that skip the learned fusion subnet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -85,8 +85,28 @@ class FeatureNormalizer:
         check_positive(self.noise_scale, "noise_scale")
 
     def normalize_currents(self, maps: np.ndarray) -> np.ndarray:
-        """Scale current maps into the network's input range."""
+        """Scale current maps into the network's input range.
+
+        Shape-agnostic: works on a single ``(T, m, n)`` stack as well as on a
+        batched ``(N, T, m, n)`` array.
+        """
         return np.asarray(maps, dtype=float) / self.current_scale
+
+    def normalize_current_batch(
+        self, maps_batch: Union[np.ndarray, Sequence[np.ndarray]]
+    ) -> Union[np.ndarray, list[np.ndarray]]:
+        """Scale a batch of current-map stacks (leading sample dimension).
+
+        Accepts a dense ``(N, T, m, n)`` array or a ragged sequence of
+        ``(T_i, m, n)`` stacks; the return type mirrors the input.
+        """
+        if isinstance(maps_batch, np.ndarray):
+            if maps_batch.ndim != 4:
+                raise ValueError(
+                    f"batched current maps must have shape (N, T, m, n), got {maps_batch.shape}"
+                )
+            return self.normalize_currents(maps_batch)
+        return [self.normalize_currents(maps) for maps in maps_batch]
 
     def normalize_distance(self, tensor: np.ndarray) -> np.ndarray:
         """Scale the distance tensor into the network's input range."""

@@ -5,6 +5,7 @@ from repro.io.results import (
     ascii_heatmap,
     ascii_histogram,
     format_table,
+    latency_throughput_columns,
     read_json,
     write_csv,
     write_json,
@@ -15,6 +16,7 @@ __all__ = [
     "ascii_heatmap",
     "ascii_histogram",
     "format_table",
+    "latency_throughput_columns",
     "read_json",
     "write_csv",
     "write_json",

@@ -132,6 +132,44 @@ def read_json(path: Union[str, Path]) -> list[ExperimentRecord]:
     return records
 
 
+def latency_throughput_columns(
+    latencies_seconds: Sequence[float],
+    total_seconds: Optional[float] = None,
+    vectors: Optional[int] = None,
+) -> dict:
+    """Standard throughput/latency columns for runtime tables.
+
+    Parameters
+    ----------
+    latencies_seconds:
+        Per-item wall-clock latencies in seconds.
+    total_seconds:
+        Wall-clock span of the whole run; defaults to the sum of the
+        latencies (correct for sequential execution, pass the real span for
+        batched/concurrent runs).
+    vectors:
+        Number of items processed; defaults to ``len(latencies_seconds)``.
+
+    Returns
+    -------
+    Mapping with ``p50_latency_ms``, ``p95_latency_ms`` and
+    ``vectors_per_sec`` keys, ready to merge into an
+    :class:`ExperimentRecord`'s values.
+    """
+    latencies = np.asarray(latencies_seconds, dtype=float).ravel()
+    if latencies.size == 0:
+        raise ValueError("at least one latency measurement is required")
+    if np.any(latencies < 0):
+        raise ValueError("latencies must be non-negative")
+    span = float(np.sum(latencies)) if total_seconds is None else float(total_seconds)
+    count = int(latencies.size) if vectors is None else int(vectors)
+    return {
+        "p50_latency_ms": float(np.percentile(latencies, 50)) * 1e3,
+        "p95_latency_ms": float(np.percentile(latencies, 95)) * 1e3,
+        "vectors_per_sec": float(count / span) if span > 0 else float("inf"),
+    }
+
+
 def ascii_heatmap(
     values: np.ndarray,
     title: str = "",

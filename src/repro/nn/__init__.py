@@ -30,7 +30,7 @@ from repro.nn.modules import (
 from repro.nn.losses import huber_loss, l1_loss, mse_loss
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.data import ArrayDataset, BatchIterator
-from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.nn.serialization import load_checkpoint, load_extras, save_checkpoint
 from repro.nn import init
 
 __all__ = [
@@ -63,6 +63,7 @@ __all__ = [
     "ArrayDataset",
     "BatchIterator",
     "load_checkpoint",
+    "load_extras",
     "save_checkpoint",
     "init",
 ]

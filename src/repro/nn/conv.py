@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Context, Function, Tensor
+from repro.nn.tensor import Context, Function, Tensor, grad_enabled
 
 #: Padding modes supported by :class:`Conv2dFunction`.
 PADDING_MODES = ("zeros", "replicate")
@@ -139,13 +139,19 @@ class Conv2dFunction(Function):
         x_padded = pad_input(x, padding, padding_mode)
         columns = im2col(x_padded, kernel, stride)
         weight_matrix = weight.reshape(out_channels, -1)
-        output = np.einsum("of,nfp->nop", weight_matrix, columns, optimize=True)
+        # matmul broadcasts (O, F) @ (N, F, P) -> (N, O, P) straight into
+        # batched GEMM; unlike einsum there is no per-call path search, which
+        # matters when serving many small maps.
+        output = np.matmul(weight_matrix, columns)
         out_h = conv_output_size(x.shape[2], kernel, stride, padding)
         out_w = conv_output_size(x.shape[3], kernel, stride, padding)
         output = output.reshape(x.shape[0], out_channels, out_h, out_w)
         if bias is not None:
             output = output + bias.reshape(1, -1, 1, 1)
-        ctx.save(columns, weight, x_padded.shape)
+        if grad_enabled():
+            # The unfolded columns are by far the largest forward buffer;
+            # inference (no_grad) batches must not keep them alive.
+            ctx.save(columns, weight, x_padded.shape)
         ctx.attrs.update(
             stride=stride,
             padding=padding,
@@ -206,7 +212,7 @@ class ConvTranspose2dFunction(Function):
 
         x_flat = x.reshape(batch, in_channels, in_h * in_w)
         weight_matrix = weight.reshape(in_channels, out_channels * kernel * kernel)
-        columns = np.einsum("if,nip->nfp", weight_matrix, x_flat, optimize=True)
+        columns = np.matmul(weight_matrix.T, x_flat)
         output_padded = col2im(columns, padded_shape, kernel, stride)
         if padding > 0:
             output = output_padded[:, :, padding:-padding, padding:-padding]
@@ -214,7 +220,8 @@ class ConvTranspose2dFunction(Function):
             output = output_padded
         if bias is not None:
             output = output + bias.reshape(1, -1, 1, 1)
-        ctx.save(x_flat, weight, padded_shape)
+        if grad_enabled():
+            ctx.save(x_flat, weight, padded_shape)
         ctx.attrs.update(
             stride=stride, padding=padding, has_bias=bias is not None, input_shape=x.shape
         )

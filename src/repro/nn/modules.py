@@ -88,6 +88,22 @@ class Module:
         """Set inference mode recursively."""
         return self.train(False)
 
+    def freeze(self) -> "Module":
+        """Disable gradients on every parameter and switch to eval mode.
+
+        Served models never train again, so freezing them keeps forward
+        passes from recording the autograd graph even outside ``no_grad``.
+        """
+        for parameter in self.parameters():
+            parameter.requires_grad = False
+        return self.eval()
+
+    def unfreeze(self) -> "Module":
+        """Re-enable gradients on every parameter and return to train mode."""
+        for parameter in self.parameters():
+            parameter.requires_grad = True
+        return self.train(True)
+
     # -- state dict -------------------------------------------------------- #
 
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":

@@ -2,31 +2,42 @@
 
 Checkpoints are plain ``.npz`` archives: one array per parameter keyed by its
 qualified name, plus optional JSON-encoded metadata (e.g. the feature
-normaliser or training configuration).
+normaliser or training configuration) and optional *extra* arrays (e.g. a
+design's distance tensor).  Non-parameter entries use reserved ``__``-prefixed
+keys so they can never collide with parameter names.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
 from repro.nn.modules import Module
 
 _METADATA_KEY = "__metadata_json__"
+_EXTRA_PREFIX = "__extra__"
+_RESERVED_PREFIX = "__"
 
 
 def save_checkpoint(
     module: Module,
     path: Union[str, Path],
     metadata: Optional[dict] = None,
+    extras: Optional[Mapping[str, np.ndarray]] = None,
 ) -> None:
-    """Save a module's parameters (and optional metadata) to ``path``."""
+    """Save a module's parameters (plus optional metadata/extras) to ``path``.
+
+    ``extras`` maps names to arrays stored alongside the parameters in the
+    same archive; read them back with :func:`load_extras`.
+    """
     payload = {name: value for name, value in module.state_dict().items()}
     if metadata is not None:
         payload[_METADATA_KEY] = np.array(json.dumps(metadata))
+    for name, value in (extras or {}).items():
+        payload[_EXTRA_PREFIX + name] = np.asarray(value)
     np.savez_compressed(path, **payload)
 
 
@@ -37,11 +48,24 @@ def load_checkpoint(
     """Load parameters saved by :func:`save_checkpoint` into ``module``.
 
     Returns the metadata dictionary when one was stored, else ``None``.
+    Reserved (``__``-prefixed) entries such as extras are ignored here.
     """
     with np.load(path, allow_pickle=False) as data:
-        state = {key: data[key] for key in data.files if key != _METADATA_KEY}
+        state = {
+            key: data[key] for key in data.files if not key.startswith(_RESERVED_PREFIX)
+        }
         metadata = None
         if _METADATA_KEY in data.files:
             metadata = json.loads(str(data[_METADATA_KEY]))
     module.load_state_dict(state)
     return metadata
+
+
+def load_extras(path: Union[str, Path]) -> dict[str, np.ndarray]:
+    """Read the extra arrays stored in a checkpoint (empty dict if none)."""
+    with np.load(path, allow_pickle=False) as data:
+        return {
+            key[len(_EXTRA_PREFIX):]: np.asarray(data[key])
+            for key in data.files
+            if key.startswith(_EXTRA_PREFIX)
+        }

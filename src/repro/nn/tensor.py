@@ -14,6 +14,7 @@ thousands of parameters), so numerical robustness is worth more than memory.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -87,24 +88,27 @@ class Function:
         return output
 
 
-_GRAD_ENABLED = [True]
+# Thread-local so a serving thread running under no_grad can never disable
+# graph recording for a training step happening concurrently on another
+# thread (each thread sees its own flag, defaulting to enabled).
+_GRAD_STATE = threading.local()
 
 
 def grad_enabled() -> bool:
-    """Whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED[0]
+    """Whether operations currently record the autograd graph (per thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 class no_grad:
     """Context manager disabling graph recording (inference mode)."""
 
     def __enter__(self) -> "no_grad":
-        self._previous = _GRAD_ENABLED[0]
-        _GRAD_ENABLED[0] = False
+        self._previous = grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        _GRAD_ENABLED[0] = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 class Tensor:
@@ -311,6 +315,12 @@ class Tensor:
     def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
         """Permute axes."""
         return Transpose.apply(self, axes=tuple(axes) if axes is not None else None)
+
+    def broadcast_to(self, *shape) -> "Tensor":
+        """Broadcast to a larger shape (numpy broadcasting rules)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return BroadcastTo.apply(self, shape=shape)
 
     def std(self, axis=None, keepdims: bool = False, eps: float = 1e-12) -> "Tensor":
         """Population standard deviation, composed from differentiable primitives."""
@@ -566,10 +576,11 @@ class Max(Function):
     ) -> np.ndarray:
         op = np.max if mode == "max" else np.min
         result = op(a, axis=axis, keepdims=True)
-        mask = a == result
-        # Split the gradient among ties to keep the operator's adjoint exact.
-        counts = mask.sum(axis=axis, keepdims=True)
-        ctx.save(mask, counts)
+        if grad_enabled():
+            mask = a == result
+            # Split the gradient among ties to keep the operator's adjoint exact.
+            counts = mask.sum(axis=axis, keepdims=True)
+            ctx.save(mask, counts)
         ctx.attrs.update(shape=a.shape, axis=axis, keepdims=keepdims)
         return result if keepdims else np.squeeze(result, axis=axis) if axis is not None else result.reshape(())
 
@@ -611,6 +622,21 @@ class Transpose(Function):
         axes = ctx.attrs["axes"]
         inverse = np.argsort(axes)
         return (np.transpose(grad, inverse),)
+
+
+class BroadcastTo(Function):
+    """Broadcast to a target shape; backward sums over the broadcast axes."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, shape: tuple[int, ...] = ()) -> np.ndarray:
+        ctx.attrs["shape"] = a.shape
+        # Materialise the broadcast so downstream ops (e.g. im2col's stride
+        # tricks) see an ordinary contiguous array rather than a view.
+        return np.ascontiguousarray(np.broadcast_to(a, shape))
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (_unbroadcast(grad, ctx.attrs["shape"]),)
 
 
 class GetItem(Function):

@@ -3,6 +3,7 @@
 from repro.utils.random import RandomState, ensure_rng
 from repro.utils.validation import (
     check_finite,
+    check_non_negative,
     check_positive,
     check_probability,
     check_shape,
@@ -15,6 +16,7 @@ __all__ = [
     "RandomState",
     "ensure_rng",
     "check_finite",
+    "check_non_negative",
     "check_positive",
     "check_probability",
     "check_shape",

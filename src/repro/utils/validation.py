@@ -29,6 +29,11 @@ def check_positive(value: float, name: str = "value", strict: bool = True) -> fl
     return value
 
 
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``value`` is >= 0 (zero allowed)."""
+    return check_positive(value, name, strict=False)
+
+
 def check_probability(value: float, name: str = "value") -> float:
     """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
     if not 0.0 <= value <= 1.0:

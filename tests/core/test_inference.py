@@ -51,6 +51,17 @@ class TestNoisePredictor:
         hotspots = result.hotspot_map(0.1)
         assert hotspots.dtype == bool
 
+    def test_hotspot_map_accepts_zero_threshold(self, predictor, tiny_design, tiny_traces):
+        result = predictor.predict_trace(tiny_traces[0], tiny_design)
+        hotspots = result.hotspot_map(0.0)
+        assert hotspots.dtype == bool
+        np.testing.assert_array_equal(hotspots, result.noise_map > 0.0)
+
+    def test_hotspot_map_rejects_negative_threshold(self, predictor, tiny_design, tiny_traces):
+        result = predictor.predict_trace(tiny_traces[0], tiny_design)
+        with pytest.raises(ValueError):
+            result.hotspot_map(-0.05)
+
     def test_distance_shape_validation(self, predictor, rng):
         with pytest.raises(ValueError):
             NoisePredictor(
@@ -75,6 +86,58 @@ class TestNoisePredictor:
         reloaded = restored.predict_trace(tiny_traces[0], tiny_design)
         np.testing.assert_allclose(original.noise_map, reloaded.noise_map, rtol=1e-9)
         assert restored.compression_rate == predictor.compression_rate
+
+    def test_save_is_single_self_contained_file(self, predictor, tmp_path):
+        path = tmp_path / "predictor.npz"
+        predictor.save(path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["predictor.npz"]
+        np.testing.assert_array_equal(NoisePredictor.load(path).distance, predictor.distance)
+
+    def test_save_and_load_accept_str_paths(self, predictor, tmp_path):
+        path = str(tmp_path / "predictor.npz")
+        predictor.save(path)
+        restored = NoisePredictor.load(path)
+        np.testing.assert_array_equal(restored.distance, predictor.distance)
+
+    @staticmethod
+    def _write_legacy_checkpoint(predictor, path, with_sidecar):
+        """Reproduce the old on-disk layout: weights + metadata in the main
+        archive, distance tensor in a "<name>.distance.npz" sidecar."""
+        from repro.nn import save_checkpoint
+
+        metadata = {
+            "normalizer": predictor.normalizer.to_dict(),
+            "compression_rate": predictor.compression_rate,
+            "rate_step": predictor.rate_step,
+            "num_bumps": predictor.model.num_bumps,
+            "model_config": {
+                "distance_kernels": predictor.model.config.distance_kernels,
+                "fusion_kernels": predictor.model.config.fusion_kernels,
+                "prediction_kernels": predictor.model.config.prediction_kernels,
+                "kernel_size": predictor.model.config.kernel_size,
+                "distance_depth": predictor.model.config.distance_depth,
+                "prediction_depth": predictor.model.config.prediction_depth,
+                "seed": predictor.model.config.seed,
+            },
+            "distance_shape": list(predictor.distance.shape),
+        }
+        save_checkpoint(predictor.model, path, metadata=metadata)
+        if with_sidecar:
+            np.savez_compressed(str(path) + ".distance.npz", distance=predictor.distance)
+
+    def test_load_legacy_sidecar_checkpoint(self, predictor, tiny_design, tiny_traces, tmp_path):
+        path = tmp_path / "legacy.npz"
+        self._write_legacy_checkpoint(predictor, path, with_sidecar=True)
+        restored = NoisePredictor.load(path)
+        original = predictor.predict_trace(tiny_traces[0], tiny_design)
+        reloaded = restored.predict_trace(tiny_traces[0], tiny_design)
+        np.testing.assert_allclose(original.noise_map, reloaded.noise_map, rtol=1e-9)
+
+    def test_load_without_any_distance_source_fails(self, predictor, tmp_path):
+        path = tmp_path / "incomplete.npz"
+        self._write_legacy_checkpoint(predictor, path, with_sidecar=False)
+        with pytest.raises(FileNotFoundError, match="distance"):
+            NoisePredictor.load(path)
 
     def test_load_rejects_checkpoint_without_metadata(self, predictor, tmp_path):
         from repro.nn import save_checkpoint

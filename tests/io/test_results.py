@@ -8,6 +8,7 @@ from repro.io.results import (
     ascii_heatmap,
     ascii_histogram,
     format_table,
+    latency_throughput_columns,
     read_json,
     write_csv,
     write_json,
@@ -87,3 +88,39 @@ class TestAsciiRenderers:
         lines = text.splitlines()
         assert lines[0] == "errors"
         assert len(lines) == 11
+
+
+class TestLatencyThroughputColumns:
+    def test_sequential_defaults(self):
+        columns = latency_throughput_columns([0.01, 0.02, 0.03, 0.04])
+        assert columns["p50_latency_ms"] == pytest.approx(25.0)
+        assert columns["p95_latency_ms"] == pytest.approx(38.5)
+        assert columns["vectors_per_sec"] == pytest.approx(4 / 0.1)
+
+    def test_concurrent_span_overrides_sum(self):
+        # Four 10 ms requests served concurrently in a 10 ms span.
+        columns = latency_throughput_columns([0.01] * 4, total_seconds=0.01)
+        assert columns["vectors_per_sec"] == pytest.approx(400.0)
+
+    def test_vector_count_override(self):
+        columns = latency_throughput_columns([0.5], total_seconds=1.0, vectors=100)
+        assert columns["vectors_per_sec"] == pytest.approx(100.0)
+
+    def test_merges_into_record_values(self):
+        record = ExperimentRecord("bench", "serving", {})
+        record.values.update(latency_throughput_columns([0.001, 0.002]))
+        assert "p50_latency_ms" in record.values
+        assert "p95_latency_ms" in record.values
+        assert "vectors_per_sec" in record.values
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_throughput_columns([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            latency_throughput_columns([0.1, -0.2])
+
+    def test_zero_span(self):
+        columns = latency_throughput_columns([0.0, 0.0])
+        assert columns["vectors_per_sec"] == float("inf")

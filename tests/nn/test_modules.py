@@ -136,3 +136,22 @@ class TestLayers:
     def test_parameter_is_tensor_with_grad(self):
         parameter = Parameter(np.zeros(3))
         assert parameter.requires_grad
+
+
+class TestFreeze:
+    def test_freeze_disables_gradients_and_training(self):
+        model = _ToyModel()
+        frozen = model.freeze()
+        assert frozen is model
+        assert all(not p.requires_grad for p in model.parameters())
+        assert all(not m.training for m in model.modules())
+
+    def test_frozen_forward_records_no_graph(self, rng):
+        model = _ToyModel().freeze()
+        output = model(Tensor(rng.random((1, 1, 6, 6))))
+        assert not output.requires_grad
+
+    def test_unfreeze_restores_training(self):
+        model = _ToyModel().freeze().unfreeze()
+        assert all(p.requires_grad for p in model.parameters())
+        assert all(m.training for m in model.modules())

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.nn import Conv2d, ReLU, Sequential, Tensor, load_checkpoint, save_checkpoint
+from repro.nn import (
+    Conv2d,
+    ReLU,
+    Sequential,
+    Tensor,
+    load_checkpoint,
+    load_extras,
+    save_checkpoint,
+)
 
 
 @pytest.fixture()
@@ -38,3 +46,29 @@ class TestCheckpointRoundtrip:
         other = Sequential(Conv2d(1, 3, seed=0))
         with pytest.raises(ValueError):
             load_checkpoint(other, path)
+
+
+class TestCheckpointExtras:
+    def test_extras_roundtrip(self, model, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        distance = rng.random((3, 4, 4))
+        save_checkpoint(model, path, extras={"distance": distance})
+        extras = load_extras(path)
+        assert set(extras) == {"distance"}
+        np.testing.assert_array_equal(extras["distance"], distance)
+
+    def test_extras_ignored_by_load_checkpoint(self, model, tmp_path, rng):
+        path = tmp_path / "model.npz"
+        save_checkpoint(
+            model, path, metadata={"k": 1}, extras={"aux": rng.random(5)}
+        )
+        clone = Sequential(Conv2d(1, 2, seed=5), ReLU(), Conv2d(2, 1, seed=6))
+        metadata = load_checkpoint(clone, path)
+        assert metadata == {"k": 1}
+        x = Tensor(rng.random((1, 1, 5, 5)))
+        np.testing.assert_allclose(model(x).data, clone(x).data)
+
+    def test_no_extras_returns_empty(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        assert load_extras(path) == {}

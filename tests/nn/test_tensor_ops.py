@@ -217,3 +217,24 @@ class TestShapeOps:
         assert tensor.sum().item() == pytest.approx(
             tensor.sum(axis=0).sum().item(), rel=1e-9, abs=1e-12
         )
+
+
+class TestBroadcastTo:
+    def test_values(self, rng):
+        tensor = Tensor(rng.random((1, 1, 3, 3)))
+        expanded = tensor.broadcast_to(4, 1, 3, 3)
+        assert expanded.shape == (4, 1, 3, 3)
+        for i in range(4):
+            np.testing.assert_array_equal(expanded.data[i], tensor.data[0])
+
+    def test_output_is_contiguous(self, rng):
+        expanded = Tensor(rng.random((1, 3))).broadcast_to(5, 3)
+        assert expanded.data.flags["C_CONTIGUOUS"]
+
+    def test_gradient_sums_over_broadcast_axes(self, rng):
+        array = rng.random((1, 3))
+        check_input_gradient(lambda t: t.broadcast_to(4, 3), array)
+
+    def test_tuple_shape_accepted(self, rng):
+        expanded = Tensor(rng.random((2, 1))).broadcast_to((2, 5))
+        assert expanded.shape == (2, 5)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.inference import NoisePredictor
+from repro.core.model import WorstCaseNoiseNet
+from repro.features.extraction import FeatureNormalizer, distance_feature
+
+
+@pytest.fixture(scope="module")
+def serving_predictor(tiny_design):
+    """An (untrained) predictor for the tiny design; weights don't matter here."""
+    model = WorstCaseNoiseNet(
+        num_bumps=tiny_design.grid.num_bumps,
+        config=ModelConfig(distance_kernels=4, fusion_kernels=4, prediction_kernels=4, seed=0),
+    )
+    normalizer = FeatureNormalizer(current_scale=0.05, distance_scale=1000.0, noise_scale=0.15)
+    return NoisePredictor(
+        model=model,
+        normalizer=normalizer,
+        distance=distance_feature(tiny_design),
+        compression_rate=0.4,
+    )
+
+
+@pytest.fixture()
+def registry(tmp_path, tiny_design, serving_predictor):
+    """A registry with the tiny design's predictor registered."""
+    from repro.serving import PredictorRegistry
+
+    registry = PredictorRegistry(tmp_path / "checkpoints", capacity=4)
+    registry.register(tiny_design.name, serving_predictor)
+    return registry

@@ -1,0 +1,131 @@
+"""Batched forward path: agreement with the per-vector path on every design."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ModelConfig
+from repro.core.model import WorstCaseNoiseNet
+from repro.features.extraction import normalized_distance_feature
+from repro.nn import no_grad
+from repro.pdn import reference_design, reference_design_names
+
+_SMALL_CONFIG = ModelConfig(
+    distance_kernels=4, fusion_kernels=4, prediction_kernels=4, seed=0
+)
+
+
+@pytest.mark.parametrize("design_name", reference_design_names())
+def test_batched_matches_sequential_on_reference_designs(design_name):
+    """Batched and one-at-a-time predictions agree on every reference config."""
+    design = reference_design(design_name, scale=0.1, seed=0)
+    distance = normalized_distance_feature(design)
+    model = WorstCaseNoiseNet(num_bumps=design.grid.num_bumps, config=_SMALL_CONFIG)
+    rng = np.random.default_rng(7)
+    height, width = design.tile_grid.shape
+    batch = [rng.random((int(rng.integers(4, 10)), height, width)) for _ in range(5)]
+
+    with no_grad():
+        sequential = np.stack([model(maps, distance).numpy() for maps in batch])
+        batched = model.forward_batch(batch, distance).numpy()
+
+    assert batched.shape == (len(batch), height, width)
+    np.testing.assert_allclose(batched, sequential, rtol=1e-10, atol=1e-10)
+
+
+def test_uniform_batch_array_input():
+    """A dense (N, T, m, n) array takes the fully vectorised reduction path."""
+    design = reference_design("D1", scale=0.1, seed=0)
+    distance = normalized_distance_feature(design)
+    model = WorstCaseNoiseNet(num_bumps=design.grid.num_bumps, config=_SMALL_CONFIG)
+    rng = np.random.default_rng(11)
+    height, width = design.tile_grid.shape
+    dense = rng.random((6, 8, height, width))
+
+    with no_grad():
+        sequential = np.stack([model(dense[i], distance).numpy() for i in range(6)])
+        batched = model.forward_batch(dense, distance).numpy()
+
+    np.testing.assert_allclose(batched, sequential, rtol=1e-10, atol=1e-10)
+
+
+class TestBatchValidation:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return WorstCaseNoiseNet(num_bumps=4, config=_SMALL_CONFIG)
+
+    def test_empty_batch_rejected(self, model, rng):
+        with pytest.raises(ValueError, match="empty"):
+            model.forward_batch([], rng.random((4, 8, 8)))
+
+    def test_wrong_rank_rejected(self, model, rng):
+        with pytest.raises(ValueError):
+            model.forward_batch(rng.random((3, 8, 8)), rng.random((4, 8, 8)))
+
+    def test_mismatched_tile_shapes_rejected(self, model, rng):
+        batch = [rng.random((5, 8, 8)), rng.random((5, 6, 6))]
+        with pytest.raises(ValueError, match="tile shape"):
+            model.forward_batch(batch, rng.random((4, 8, 8)))
+
+
+class TestPredictorBatching:
+    def test_predict_batch_matches_predict_features(self, serving_predictor, tiny_dataset):
+        features = [sample.features for sample in tiny_dataset.samples]
+        batched = serving_predictor.predict_batch(features)
+        assert len(batched) == len(features)
+        for item, result in zip(features, batched):
+            single = serving_predictor.predict_features(item)
+            np.testing.assert_allclose(
+                result.noise_map, single.noise_map, rtol=1e-10, atol=1e-12
+            )
+            assert result.name == item.name
+
+    def test_predict_dataset_batched_vs_per_vector(self, serving_predictor, tiny_dataset):
+        maps_batched, runtimes_batched = serving_predictor.predict_dataset(tiny_dataset)
+        maps_single, _ = serving_predictor.predict_dataset(tiny_dataset, max_batch=1)
+        assert maps_batched.shape == (len(tiny_dataset),) + tiny_dataset.tile_shape
+        assert runtimes_batched.shape == (len(tiny_dataset),)
+        assert np.all(runtimes_batched > 0)
+        np.testing.assert_allclose(maps_batched, maps_single, rtol=1e-10, atol=1e-12)
+
+    def test_predict_dataset_chunking(self, serving_predictor, tiny_dataset):
+        maps_full, _ = serving_predictor.predict_dataset(tiny_dataset)
+        maps_chunked, _ = serving_predictor.predict_dataset(tiny_dataset, max_batch=3)
+        np.testing.assert_allclose(maps_chunked, maps_full, rtol=1e-10, atol=1e-12)
+
+    def test_predict_dataset_empty_selection(self, serving_predictor, tiny_dataset):
+        maps, runtimes = serving_predictor.predict_dataset(tiny_dataset, indices=[])
+        assert maps.shape == (0,) + tiny_dataset.tile_shape
+        assert runtimes.shape == (0,)
+
+    def test_fingerprint_tracks_weight_updates(self, serving_predictor):
+        first = serving_predictor.fingerprint
+        assert first == serving_predictor.fingerprint  # memoised and stable
+        parameter = serving_predictor.model.parameters()[0]
+        original = parameter.data
+        try:
+            # Weight updates rebind parameter.data (as optimisers and
+            # load_state_dict do); the fingerprint must follow automatically.
+            parameter.data = parameter.data + 1.0
+            assert serving_predictor.fingerprint != first
+        finally:
+            parameter.data = original
+        assert serving_predictor.fingerprint == first
+
+    def test_batched_path_not_stale_after_weight_update(
+        self, serving_predictor, tiny_dataset
+    ):
+        """Reduced-distance memo must not survive an in-place retrain."""
+        features = [sample.features for sample in tiny_dataset.samples[:3]]
+        serving_predictor.predict_batch(features)  # populate the memo
+        parameter = serving_predictor.model.parameters()[0]
+        original = parameter.data
+        try:
+            parameter.data = parameter.data * 1.5
+            batched = serving_predictor.predict_batch(features)
+            for item, result in zip(features, batched):
+                single = serving_predictor.predict_features(item)
+                np.testing.assert_allclose(
+                    result.noise_map, single.noise_map, rtol=1e-10, atol=1e-12
+                )
+        finally:
+            parameter.data = original

@@ -1,0 +1,66 @@
+"""Tests for the per-design predictor registry."""
+
+import numpy as np
+import pytest
+
+from repro.serving import PredictorRegistry
+
+
+class TestPredictorRegistry:
+    def test_register_writes_checkpoint(self, registry, tiny_design):
+        path = registry.checkpoint_path(tiny_design.name)
+        assert path.exists()
+        assert tiny_design.name in registry.available()
+        assert tiny_design.name in registry
+
+    def test_get_returns_resident_predictor(self, registry, tiny_design, serving_predictor):
+        assert registry.get(tiny_design.name) is serving_predictor
+        assert registry.stats.hits == 1
+        assert registry.stats.loads == 0
+
+    def test_get_loads_from_disk_after_eviction(
+        self, registry, tiny_design, serving_predictor, tiny_traces
+    ):
+        original = serving_predictor.predict_trace(tiny_traces[0], tiny_design)
+        assert registry.evict(tiny_design.name)
+        assert registry.loaded() == ()
+        reloaded = registry.get(tiny_design.name)
+        assert reloaded is not serving_predictor
+        assert registry.stats.loads == 1
+        result = reloaded.predict_trace(tiny_traces[0], tiny_design)
+        np.testing.assert_allclose(result.noise_map, original.noise_map, rtol=1e-10)
+        assert reloaded.fingerprint == serving_predictor.fingerprint
+
+    def test_loaded_models_are_frozen(self, registry, tiny_design):
+        registry.evict(tiny_design.name)
+        predictor = registry.get(tiny_design.name)
+        assert all(not p.requires_grad for p in predictor.model.parameters())
+        assert not predictor.model.training
+
+    def test_capacity_eviction(self, tmp_path, tiny_design, serving_predictor):
+        registry = PredictorRegistry(tmp_path / "small", capacity=2)
+        for name in ("alpha", "beta", "gamma"):
+            registry.register(name, serving_predictor)
+        assert len(registry.loaded()) == 2
+        assert registry.loaded() == ("beta", "gamma")
+        assert registry.stats.evictions == 1
+        # alpha's checkpoint survives on disk and can be reloaded.
+        assert "alpha" in registry.available()
+        registry.get("alpha")
+        assert "alpha" in registry.loaded()
+
+    def test_unknown_design_raises(self, registry):
+        with pytest.raises(KeyError, match="no predictor registered"):
+            registry.get("nonexistent")
+
+    def test_invalid_design_name_rejected(self, registry):
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(ValueError):
+                registry.checkpoint_path(bad)
+
+    def test_evict_missing_returns_false(self, registry):
+        assert not registry.evict("nonexistent")
+
+    def test_capacity_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            PredictorRegistry(tmp_path, capacity=0)

@@ -1,0 +1,168 @@
+"""Tests for the micro-batching screening service."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.features.extraction import VectorFeatures, extract_vector_features
+from repro.pdn.designs import make_design
+from repro.serving import ScreeningService
+
+
+@pytest.fixture()
+def service(registry):
+    with ScreeningService(registry, max_batch=8, max_wait=5e-3) as svc:
+        yield svc
+
+
+class TestScreeningCorrectness:
+    def test_screen_matches_sequential_predictions(
+        self, service, serving_predictor, tiny_design, tiny_traces
+    ):
+        results = service.screen(tiny_traces, tiny_design)
+        assert len(results) == len(tiny_traces)
+        for trace, result in zip(tiny_traces, results):
+            sequential = serving_predictor.predict_trace(trace, tiny_design)
+            np.testing.assert_allclose(
+                result.noise_map, sequential.noise_map, rtol=1e-10, atol=1e-12
+            )
+
+    def test_requests_are_micro_batched(self, service, tiny_design, tiny_traces):
+        service.screen(tiny_traces, tiny_design)
+        stats = service.stats
+        assert stats.batched_vectors == len(tiny_traces)
+        assert stats.model_batches < len(tiny_traces)
+        assert stats.max_batch_observed > 1
+
+    def test_features_payload_with_design_name(
+        self, service, serving_predictor, tiny_design, tiny_traces
+    ):
+        features = extract_vector_features(
+            tiny_traces[0], tiny_design, compression_rate=serving_predictor.compression_rate
+        )
+        result = service.submit(features, tiny_design.name)
+        sequential = serving_predictor.predict_features(features)
+        np.testing.assert_allclose(
+            result.noise_map, sequential.noise_map, rtol=1e-10, atol=1e-12
+        )
+
+
+class TestResultCache:
+    def test_cache_hits_return_identical_maps_without_rerun(
+        self, service, tiny_design, tiny_traces
+    ):
+        first = service.screen(tiny_traces, tiny_design)
+        vectors_after_first = service.stats.batched_vectors
+        second = service.screen(tiny_traces, tiny_design)
+        # No additional forward passes ran ...
+        assert service.stats.batched_vectors == vectors_after_first
+        assert service.stats.cache_hits == len(tiny_traces)
+        # ... and the cached maps are bit-identical.
+        for a, b in zip(first, second):
+            assert np.array_equal(a.noise_map, b.noise_map)
+
+    def test_renamed_identical_trace_hits_cache(self, service, tiny_design, tiny_traces):
+        trace = tiny_traces[0]
+        service.submit(trace, tiny_design)
+        renamed = dataclasses.replace(trace, name="release-candidate-7")
+        result = service.submit(renamed, tiny_design)
+        assert service.stats.cache_hits == 1
+        # The hit reports the submitter's vector name, not the twin's.
+        assert result.name == "release-candidate-7"
+
+    def test_caller_mutation_cannot_poison_cache(self, service, tiny_design, tiny_traces):
+        trace = tiny_traces[0]
+        original = service.submit(trace, tiny_design)
+        reference = original.noise_map.copy()
+        original.noise_map *= 1e3  # caller-side unit conversion
+        hit = service.submit(dataclasses.replace(trace, name="again"), tiny_design)
+        np.testing.assert_array_equal(hit.noise_map, reference)
+        hit.noise_map[:] = -1.0  # mutating a hit must not touch the cache either
+        second_hit = service.submit(dataclasses.replace(trace, name="thrice"), tiny_design)
+        np.testing.assert_array_equal(second_hit.noise_map, reference)
+
+    def test_concurrent_duplicates_coalesce(self, registry, tiny_design, tiny_traces):
+        with ScreeningService(registry, max_batch=8, max_wait=0.25) as svc:
+            twin = dataclasses.replace(tiny_traces[0], name="twin")
+            first = svc.submit_async(tiny_traces[0], tiny_design)
+            second = svc.submit_async(twin, tiny_design)
+            assert svc.stats.coalesced == 1
+            primary, follower = first.result(), second.result()
+            # One forward pass, but each caller owns a private result.
+            assert svc.stats.batched_vectors == 1
+            np.testing.assert_array_equal(primary.noise_map, follower.noise_map)
+            assert follower.noise_map is not primary.noise_map
+            assert follower.name == "twin"
+
+    def test_cancelled_future_does_not_poison_group(
+        self, registry, tiny_design, tiny_traces
+    ):
+        with ScreeningService(registry, max_batch=8, max_wait=0.2) as svc:
+            futures = [svc.submit_async(trace, tiny_design) for trace in tiny_traces[:3]]
+            futures[0].cancel()  # caller gave up while the batch was filling
+            survivors = [future.result(timeout=10) for future in futures[1:]]
+        assert len(survivors) == 2
+        assert svc.stats.failures == 0
+
+    def test_new_submitter_not_coalesced_onto_cancelled_future(
+        self, registry, tiny_design, tiny_traces
+    ):
+        with ScreeningService(registry, max_batch=8, max_wait=0.2) as svc:
+            doomed = svc.submit_async(tiny_traces[0], tiny_design)
+            doomed.cancel()
+            # An innocent later submitter of the same vector must get a fresh
+            # request, not inherit the cancellation.
+            result = svc.submit(tiny_traces[0], tiny_design)
+        assert result.noise_map.shape == tiny_design.tile_grid.shape
+
+
+class TestServiceLifecycleAndErrors:
+    def test_unknown_design_raises_synchronously(self, service, tiny_traces, tiny_design):
+        features = extract_vector_features(tiny_traces[0], tiny_design)
+        with pytest.raises(KeyError):
+            service.submit(features, "not-registered")
+
+    def test_raw_trace_with_name_only_rejected(self, service, tiny_design, tiny_traces):
+        with pytest.raises(TypeError):
+            service.submit(tiny_traces[0], tiny_design.name)
+
+    def test_worker_errors_propagate_to_caller(self, service, tiny_design, rng):
+        bad = VectorFeatures(current_maps=rng.random((4, 5, 5)), name="wrong-shape")
+        with pytest.raises(Exception):
+            service.submit(bad, tiny_design.name)
+        assert service.stats.failures == 1
+
+    def test_submit_after_close_rejected(self, registry, tiny_design, tiny_traces):
+        service = ScreeningService(registry, max_batch=4)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(tiny_traces[0], tiny_design)
+        service.close()  # idempotent
+
+    def test_latencies_recorded(self, service, tiny_design, tiny_traces):
+        service.screen(tiny_traces[:4], tiny_design)
+        latencies = service.latencies()
+        assert len(latencies) == 4
+        assert all(value >= 0 for value in latencies)
+
+
+class TestMultiDesignGrouping:
+    def test_batches_group_by_design(
+        self, registry, tiny_design, serving_predictor, tiny_traces
+    ):
+        sibling_spec = dataclasses.replace(tiny_design.spec, name="unit-test-b")
+        sibling = make_design(sibling_spec, seed=0)
+        registry.register(sibling.name, serving_predictor)
+
+        with ScreeningService(registry, max_batch=16, max_wait=0.2) as svc:
+            futures = []
+            for trace in tiny_traces[:3]:
+                futures.append(svc.submit_async(trace, tiny_design))
+            for trace in tiny_traces[3:6]:
+                futures.append(svc.submit_async(trace, sibling))
+            results = [future.result() for future in futures]
+        assert len(results) == 6
+        assert svc.stats.batched_vectors == 6
+        # The six requests shared one drain but ran as two per-design groups.
+        assert svc.stats.model_batches >= 2

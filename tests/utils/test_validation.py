@@ -6,6 +6,7 @@ import pytest
 from repro.utils.validation import (
     check_finite,
     check_in_range,
+    check_non_negative,
     check_positive,
     check_probability,
     check_same_length,
@@ -93,3 +94,15 @@ class TestCheckSameLength:
 
     def test_empty(self):
         assert check_same_length({}) == 0
+
+
+class TestCheckNonNegative:
+    def test_zero_allowed(self):
+        assert check_non_negative(0.0) == 0.0
+
+    def test_positive_allowed(self):
+        assert check_non_negative(1.5) == 1.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            check_non_negative(-0.1, name="threshold")
