@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Documentation gate for CI.
+
+Three checks, any failure exits non-zero:
+
+1. **Intra-repo links** — every relative markdown link in ``README.md``,
+   ``DESIGN.md`` and ``docs/*.md`` must point at an existing file or
+   directory (external ``http(s)``/``mailto`` links and pure ``#anchors``
+   are skipped).
+2. **Docstring coverage** — every public symbol of ``repro.serving`` and
+   ``repro.datagen`` (each ``__all__`` export plus the public
+   methods/properties of exported classes) must carry a docstring; the
+   build fails below the threshold (default 1.0 — the sweep is complete,
+   keep it that way).
+3. **Generated API reference** — ``docs/api.md`` must match what
+   ``scripts/gen_api_docs.py`` renders from the current docstrings.
+
+Usage::
+
+    python scripts/check_docs.py [--coverage-threshold 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import re
+import sys
+import typing
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Markdown files whose links are validated.
+LINKED_FILES = ("README.md", "DESIGN.md", "docs/api.md", "docs/data-pipeline.md",
+                "docs/tutorial.md")
+
+#: Packages whose public symbols must be documented.
+COVERED_PACKAGES = ("repro.serving", "repro.datagen")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links() -> list[str]:
+    """Return one error string per broken intra-repo link."""
+    errors = []
+    for relative in LINKED_FILES:
+        source = REPO_ROOT / relative
+        if not source.exists():
+            errors.append(f"{relative}: file missing")
+            continue
+        for target in _LINK.findall(source.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (source.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{relative}: broken link -> {target}")
+    return errors
+
+
+def _documented(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+def check_docstrings(threshold: float) -> tuple[list[str], float]:
+    """Return (missing-symbol names, coverage ratio) over the public API."""
+    total = 0
+    missing: list[str] = []
+    for package_name in COVERED_PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if typing.get_origin(obj) is not None:
+                continue  # typing aliases carry no docstring slot
+            total += 1
+            if not _documented(obj):
+                missing.append(f"{package_name}.{name}")
+            if inspect.isclass(obj):
+                for member_name, member in vars(obj).items():
+                    if member_name.startswith("_"):
+                        continue
+                    if isinstance(member, property):
+                        target = member.fget
+                    elif inspect.isfunction(member) or isinstance(
+                        member, (classmethod, staticmethod)
+                    ):
+                        target = getattr(obj, member_name)
+                    else:
+                        continue
+                    total += 1
+                    if not _documented(target):
+                        missing.append(f"{package_name}.{name}.{member_name}")
+    coverage = 1.0 if total == 0 else 1.0 - len(missing) / total
+    return missing, coverage
+
+
+def check_api_reference() -> list[str]:
+    """Return an error when docs/api.md has drifted from the docstrings."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", REPO_ROOT / "scripts" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    rendered = module.render()
+    target = REPO_ROOT / "docs" / "api.md"
+    current = target.read_text() if target.exists() else ""
+    if current != rendered:
+        return ["docs/api.md is stale; regenerate with: python scripts/gen_api_docs.py"]
+    return []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--coverage-threshold", type=float, default=1.0)
+    args = parser.parse_args()
+
+    failures = 0
+
+    link_errors = check_links()
+    if link_errors:
+        failures += 1
+        print("Broken intra-repo links:")
+        for error in link_errors:
+            print(f"  {error}")
+    else:
+        print(f"links ok across {len(LINKED_FILES)} files")
+
+    missing, coverage = check_docstrings(args.coverage_threshold)
+    print(f"docstring coverage: {coverage:.1%} "
+          f"({len(missing)} missing) over {', '.join(COVERED_PACKAGES)}")
+    if coverage < args.coverage_threshold:
+        failures += 1
+        for name in missing:
+            print(f"  missing docstring: {name}")
+
+    api_errors = check_api_reference()
+    if api_errors:
+        failures += 1
+        for error in api_errors:
+            print(error)
+    else:
+        print("docs/api.md matches the docstrings")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Generate ``docs/api.md`` from the public docstrings.
+
+The API reference is *maintained from docstrings*: this script walks the
+``__all__`` exports of the documented packages, renders each symbol's
+signature and docstring to markdown, and writes the result to
+``docs/api.md``.  CI regenerates the file and fails when the checked-in copy
+has drifted (see ``scripts/check_docs.py``), so the reference can never go
+stale relative to the code.
+
+Usage::
+
+    python scripts/gen_api_docs.py            # rewrite docs/api.md
+    python scripts/gen_api_docs.py --check    # exit 1 when out of date
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Packages documented in the reference, in page order.
+DOCUMENTED_PACKAGES = ("repro.core", "repro.datagen", "repro.serving")
+
+HEADER = """\
+# API reference
+
+Public API of the prediction framework (`repro.core`), the dataset factory
+(`repro.datagen`) and the serving layer (`repro.serving`).
+
+**This file is generated** from the package docstrings by
+`python scripts/gen_api_docs.py`; edit the docstrings, not this file — CI
+fails when the two drift apart.  See `docs/tutorial.md` for a guided tour
+and `docs/data-pipeline.md` for the on-disk corpus contract.
+"""
+
+
+def _signature(obj) -> str:
+    """Best-effort signature string (empty for non-callables).
+
+    Default values that repr with memory addresses (functions, lambdas,
+    objects) are collapsed to their bare names so the rendered page is
+    byte-stable across processes.
+    """
+    try:
+        signature = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+    return re.sub(r"<(?:function|class|object) ([\w.]+) at 0x[0-9a-f]+>", r"\1", signature)
+
+
+def _docstring(obj) -> str:
+    """Dedented docstring, or a loud placeholder for missing ones."""
+    doc = inspect.getdoc(obj)
+    return doc.strip() if doc else "*(undocumented)*"
+
+
+def _public_methods(cls) -> list[tuple[str, object]]:
+    """Public methods/properties defined by the class itself (not inherited
+    from ``object``), in definition order."""
+    members = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            members.append((name, member))
+        elif inspect.isfunction(member) or isinstance(member, (classmethod, staticmethod)):
+            members.append((name, getattr(cls, name)))
+    return members
+
+
+def _render_symbol(name: str, obj) -> list[str]:
+    """Markdown lines documenting one exported symbol."""
+    import typing
+
+    lines: list[str] = []
+    if typing.get_origin(obj) is not None:
+        # A typing alias (e.g. a Callable signature) — document it as such.
+        lines.append(f"### `{name}`\n")
+        lines.append(f"Type alias: `{obj}`\n")
+    elif inspect.isclass(obj):
+        lines.append(f"### `{name}{_signature(obj)}`\n")
+        lines.append(_docstring(obj) + "\n")
+        for method_name, member in _public_methods(obj):
+            if isinstance(member, property):
+                summary = _docstring(member.fget) if member.fget else "*(undocumented)*"
+                lines.append(f"- **`{method_name}`** (property) — {summary.splitlines()[0]}")
+            else:
+                doc = _docstring(member)
+                lines.append(
+                    f"- **`{method_name}{_signature(member)}`** — {doc.splitlines()[0]}"
+                )
+        if _public_methods(obj):
+            lines.append("")
+    elif callable(obj):
+        lines.append(f"### `{name}{_signature(obj)}`\n")
+        lines.append(_docstring(obj) + "\n")
+    else:
+        lines.append(f"### `{name}`\n")
+        lines.append(f"Constant of type `{type(obj).__name__}`: `{obj!r}`\n")
+    return lines
+
+
+def render() -> str:
+    """Render the whole reference page."""
+    parts = [HEADER]
+    for package_name in DOCUMENTED_PACKAGES:
+        package = importlib.import_module(package_name)
+        parts.append(f"\n## `{package_name}`\n")
+        package_doc = _docstring(package)
+        parts.append(package_doc + "\n")
+        exported = getattr(package, "__all__", None)
+        if exported is None:
+            raise SystemExit(f"{package_name} has no __all__; cannot enumerate its API")
+        for name in exported:
+            obj = getattr(package, name)
+            parts.extend(_render_symbol(name, obj))
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="do not write; exit 1 when docs/api.md is out of date",
+    )
+    args = parser.parse_args()
+    target = REPO_ROOT / "docs" / "api.md"
+    rendered = render()
+    if args.check:
+        current = target.read_text() if target.exists() else ""
+        if current != rendered:
+            print("docs/api.md is out of date; run: python scripts/gen_api_docs.py")
+            return 1
+        print("docs/api.md is up to date")
+        return 0
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(rendered)
+    print(f"wrote {target} ({len(rendered.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,14 @@ from repro.serving import (
     ScreeningService,
     screen_scenarios,
 )
+from repro.datagen import (
+    CorpusDesignSpec,
+    CorpusSpec,
+    generate_corpus,
+    load_corpus,
+    load_design_dataset,
+    paper_corpus_spec,
+)
 
 __version__ = "0.1.0"
 
@@ -72,5 +80,11 @@ __all__ = [
     "ScenarioJob",
     "ScreeningService",
     "screen_scenarios",
+    "CorpusDesignSpec",
+    "CorpusSpec",
+    "generate_corpus",
+    "load_corpus",
+    "load_design_dataset",
+    "paper_corpus_spec",
     "__version__",
 ]

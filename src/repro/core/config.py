@@ -101,6 +101,13 @@ class PipelineConfig:
         Sub-configurations.
     seed:
         Master seed for vector generation and splitting.
+    sim_batch_size:
+        When set (> 1), ground-truth simulations run through the lockstep
+        block solver in batches of up to this many vectors (noise maps
+        agree with the per-vector loop to solver rounding, several times
+        faster; per-sample runtimes become batch averages).  ``None`` keeps
+        the classic per-vector loop whose runtimes are true per-vector
+        measurements.
     """
 
     num_vectors: int = 60
@@ -113,11 +120,14 @@ class PipelineConfig:
     model: ModelConfig = field(default_factory=ModelConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     seed: int = 0
+    sim_batch_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive(self.num_vectors, "num_vectors")
         check_positive(self.num_steps, "num_steps")
         check_positive(self.dt, "dt")
+        if self.sim_batch_size is not None:
+            check_positive(self.sim_batch_size, "sim_batch_size")
         check_probability(self.train_fraction, "train_fraction")
         check_probability(self.validation_ratio, "validation_ratio")
         if not 0.0 < self.compression_rate <= 1.0:

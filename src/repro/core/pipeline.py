@@ -20,7 +20,8 @@ flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -115,8 +116,55 @@ class WorstCaseNoiseFramework:
         generator = TestVectorGenerator(self.design, vector_config)
         return generator.generate_suite(self.config.num_vectors, seed=self.config.seed)
 
-    def build_dataset(self, traces=None, analysis: Optional[DynamicNoiseAnalysis] = None) -> NoiseDataset:
-        """Stage 2+3: simulate ground truth and extract features."""
+    def build_dataset(
+        self,
+        traces=None,
+        analysis: Optional[DynamicNoiseAnalysis] = None,
+        corpus_dir: Optional[Union[str, Path]] = None,
+    ) -> NoiseDataset:
+        """Stage 2+3: simulate ground truth and extract features.
+
+        Parameters
+        ----------
+        traces:
+            Test vectors to label; generated from the config when omitted.
+        analysis:
+            An existing simulator to reuse (must match the trace ``dt``).
+        corpus_dir:
+            When given, skip simulation entirely and load this design's
+            dataset from a sharded corpus produced by
+            :func:`repro.datagen.generate_corpus` (looked up under the
+            design's name).  Training then consumes factory shards
+            transparently.
+
+        Returns
+        -------
+        The labelled :class:`NoiseDataset`.
+        """
+        if corpus_dir is not None:
+            if traces is not None:
+                raise ValueError("pass either traces or corpus_dir, not both")
+            # Imported lazily: repro.datagen depends on repro.workloads and
+            # repro.sim, and importing it here at module scope would cycle.
+            from repro.datagen import load_design_dataset
+
+            dataset = load_design_dataset(corpus_dir, self.design.name)
+            # Design names do not encode scale ("D1" at any scale is "D1"),
+            # so guard against silently training on a corpus generated for a
+            # different-sized variant of this design.
+            if dataset.tile_shape != self.design.tile_grid.shape:
+                raise ValueError(
+                    f"corpus at {corpus_dir} holds {dataset.tile_shape} tile maps "
+                    f"for design {self.design.name!r}, but this framework's design "
+                    f"has a {self.design.tile_grid.shape} tile grid — the corpus "
+                    "was generated for a different variant of the design"
+                )
+            if not np.isclose(dataset.dt, self.config.dt, rtol=1e-9, atol=0.0):
+                raise ValueError(
+                    f"corpus dt {dataset.dt} does not match the configured dt "
+                    f"{self.config.dt}"
+                )
+            return dataset
         if traces is None:
             traces = self.generate_vectors()
         return build_dataset(
@@ -126,6 +174,93 @@ class WorstCaseNoiseFramework:
             rate_step=self.config.rate_step,
             transient_options=self.transient_options,
             analysis=analysis,
+            sim_batch_size=self.config.sim_batch_size,
+        )
+
+    def corpus_design_spec(
+        self,
+        design_reference: str,
+        label: Optional[str] = None,
+        shard_size: Optional[int] = None,
+    ):
+        """This framework's data requirements as a corpus slice.
+
+        Translates the pipeline configuration (vector count, trace length,
+        dt, compression, seed) into a
+        :class:`repro.datagen.CorpusDesignSpec`.  The slice carries only
+        the data-shape fields; the simulation options (integration method,
+        initial state, solver) live on the enclosing
+        :class:`repro.datagen.CorpusSpec` — use :meth:`corpus_spec` to get
+        a complete spec that matches this framework's transient options
+        too.
+
+        Parameters
+        ----------
+        design_reference:
+            Factory reference that rebuilds this design in a datagen worker
+            (e.g. ``"D1@0.2"``; see
+            :func:`repro.pdn.designs.design_from_name`).
+        label:
+            Corpus label; defaults to the design name.
+        shard_size:
+            Vectors per shard; defaults to one quarter of the vector count.
+
+        Returns
+        -------
+        A :class:`repro.datagen.CorpusDesignSpec`.
+        """
+        from repro.datagen import CorpusDesignSpec
+
+        config = self.config
+        if shard_size is None:
+            shard_size = max(1, config.num_vectors // 4)
+        return CorpusDesignSpec(
+            label=label or self.design.name,
+            design=design_reference,
+            num_vectors=config.num_vectors,
+            num_steps=config.num_steps,
+            dt=config.dt,
+            seed=config.seed,
+            shard_size=shard_size,
+            compression_rate=config.compression_rate,
+            rate_step=config.rate_step,
+        )
+
+    def corpus_spec(
+        self,
+        design_reference: str,
+        label: Optional[str] = None,
+        shard_size: Optional[int] = None,
+    ):
+        """A complete single-design corpus spec reproducing this framework.
+
+        Unlike :meth:`corpus_design_spec` alone, the returned
+        :class:`repro.datagen.CorpusSpec` also carries this framework's
+        *transient options* (integration method, initial state, solver) and
+        maps ``config.sim_batch_size`` onto the corpus batch size (``None``
+        becomes 1, i.e. true per-vector simulation) — so
+        ``generate_corpus(framework.corpus_spec(ref), root)`` labels exactly
+        what :meth:`build_dataset` would simulate in-process, physics
+        included.
+
+        Parameters
+        ----------
+        design_reference / label / shard_size:
+            As in :meth:`corpus_design_spec`.
+
+        Returns
+        -------
+        A single-design :class:`repro.datagen.CorpusSpec`.
+        """
+        from repro.datagen import CorpusSpec
+
+        options = self.transient_options
+        return CorpusSpec(
+            designs=(self.corpus_design_spec(design_reference, label, shard_size),),
+            sim_batch_size=self.config.sim_batch_size or 1,
+            solver_method=options.solver_method,
+            integration_method=options.method,
+            initial_state=options.initial_state,
         )
 
     def train(self, dataset: NoiseDataset, split: Optional[DatasetSplit] = None) -> TrainingResult:

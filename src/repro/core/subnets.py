@@ -114,6 +114,7 @@ class EncoderDecoder(Module):
         self.output_conv = _conv(hidden_channels, out_channels, kernel_size, 1, rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Encode-decode one ``(N, C_in, m, n)`` batch to ``(N, C_out, m, n)``."""
         features = self.input_relu(self.input_conv(x))
         skips: list[Tensor] = [features]
         for down in self._down_samplers:
@@ -152,6 +153,7 @@ class DistanceReductionNet(Module):
         )
 
     def forward(self, distance: Tensor) -> Tensor:
+        """Reduce a ``(N, B, m, n)`` distance tensor to ``(N, 1, m, n)``."""
         if distance.ndim != 4 or distance.shape[1] != self.num_bumps:
             raise ValueError(
                 f"distance tensor must have shape (N, {self.num_bumps}, m, n), got {distance.shape}"
@@ -181,6 +183,7 @@ class CurrentFusionNet(Module):
         self.decoder_out = _conv(hidden_channels, 1, kernel_size, 1, rng)
 
     def forward(self, current_maps: Tensor) -> Tensor:
+        """Map per-stamp maps ``(T, 1, m, n)`` to per-stamp responses ``(T, 1, m, n)``."""
         if current_maps.ndim != 4 or current_maps.shape[1] != 1:
             raise ValueError(
                 f"current maps must have shape (T, 1, m, n), got {current_maps.shape}"
@@ -211,6 +214,7 @@ class NoisePredictionNet(Module):
         )
 
     def forward(self, features: Tensor) -> Tensor:
+        """Predict ``(N, 1, m, n)`` noise maps from the ``(N, 4, m, n)`` features."""
         if features.ndim != 4 or features.shape[1] != 4:
             raise ValueError(f"features must have shape (N, 4, m, n), got {features.shape}")
         return self.network(features)

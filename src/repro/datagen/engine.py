@@ -1,0 +1,419 @@
+"""The corpus generation engine: shard tasks, worker pool, resume logic.
+
+:func:`generate_corpus` turns a :class:`~repro.datagen.spec.CorpusSpec` into
+on-disk shards.  The unit of work is one *shard* — a contiguous slice of one
+design's vector suite — and shards are independent by construction, so they
+fan out across a :class:`~concurrent.futures.ProcessPoolExecutor` exactly
+like the serving sweep fans out scenarios: design factory *references* cross
+the process boundary, each worker builds its designs and transient
+factorisations once, and every shard is written atomically with its content
+hash recorded in the manifest.
+
+Determinism contract: vector ``i`` of a design is generated from the ``i``-th
+generator of ``spawn_rngs(seed, num_vectors)`` — the exact derivation
+:meth:`~repro.workloads.vectors.TestVectorGenerator.generate_suite` uses —
+and every simulation step is deterministic.  A corpus is therefore a pure,
+bit-reproducible function of its spec (modulo wall-clock ``sim_runtime``
+bookkeeping, which the content hashes exclude), no matter how the run was
+parallelised, interrupted or resumed; against the sequential per-vector
+pipeline it agrees to solver rounding (see ``docs/data-pipeline.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.datagen.shards import CorpusManifest, ShardRecord, ShardStore
+from repro.datagen.spec import CorpusDesignSpec, CorpusSpec
+from repro.pdn.designs import Design, design_from_name
+from repro.sim.dynamic_noise import DynamicNoiseAnalysis
+from repro.sim.transient import TransientOptions
+from repro.utils import Timer, get_logger
+from repro.utils.random import spawn_rngs
+from repro.workloads.dataset import build_dataset
+from repro.workloads.vectors import TestVectorGenerator
+
+_LOG = get_logger("datagen.engine")
+
+#: Signature of a design factory: reference string -> Design.
+DesignFactory = Callable[[str], Design]
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard's worth of generation work (picklable, self-contained)."""
+
+    root: str
+    label: str
+    index: int
+    design_spec: CorpusDesignSpec
+    sim_batch_size: int
+    solver_method: str
+    integration_method: str
+    initial_state: str
+
+
+@dataclass
+class GenerationReport:
+    """Outcome of one :func:`generate_corpus` call.
+
+    Attributes
+    ----------
+    root:
+        The corpus root directory.
+    shards_total:
+        Shard count of the whole spec.
+    shards_generated:
+        Shards written by *this* run.
+    shards_skipped:
+        Shards already complete in the manifest (resume hits).
+    shards_deferred:
+        Shards left ungenerated — claimed by a concurrent run, or cut off
+        by ``max_shards``.
+    samples_generated:
+        Vectors simulated by this run.
+    seconds:
+        Wall-clock time of this run.
+    manifest:
+        The manifest after this run.
+    """
+
+    root: Path
+    shards_total: int
+    shards_generated: int = 0
+    shards_skipped: int = 0
+    shards_deferred: int = 0
+    samples_generated: int = 0
+    seconds: float = 0.0
+    manifest: Optional[CorpusManifest] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every shard of the spec is now complete."""
+        return self.manifest is not None and all(
+            self.manifest.is_complete(design.label, index)
+            for design in self.manifest.spec.designs
+            for index in range(design.num_shards)
+        )
+
+    def as_dict(self) -> dict:
+        """Flat summary for logs and reports."""
+        return {
+            "root": str(self.root),
+            "shards_total": self.shards_total,
+            "shards_generated": self.shards_generated,
+            "shards_skipped": self.shards_skipped,
+            "shards_deferred": self.shards_deferred,
+            "samples_generated": self.samples_generated,
+            "seconds": self.seconds,
+            "complete": self.complete,
+        }
+
+
+# Per-worker state, initialised once per process by _worker_init.
+_WORKER_FACTORY: Optional[DesignFactory] = None
+_WORKER_DESIGNS: dict[str, Design] = {}
+_WORKER_ANALYSES: dict[tuple, DynamicNoiseAnalysis] = {}
+
+
+def _worker_init(factory: DesignFactory) -> None:
+    """Process-pool initializer: install the design factory, clear caches."""
+    global _WORKER_FACTORY
+    _WORKER_FACTORY = factory
+    _WORKER_DESIGNS.clear()
+    _WORKER_ANALYSES.clear()
+
+
+def _worker_design(reference: str) -> Design:
+    """Build (or fetch) this worker's instance of a design."""
+    assert _WORKER_FACTORY is not None
+    design = _WORKER_DESIGNS.get(reference)
+    if design is None:
+        design = _WORKER_FACTORY(reference)
+        _WORKER_DESIGNS[reference] = design
+    return design
+
+
+def _worker_analysis(task: _ShardTask, design: Design) -> DynamicNoiseAnalysis:
+    """Build (or fetch) the cached transient analysis for a task's options."""
+    key = (
+        task.design_spec.design,
+        task.design_spec.dt,
+        task.integration_method,
+        task.initial_state,
+        task.solver_method,
+    )
+    analysis = _WORKER_ANALYSES.get(key)
+    if analysis is None:
+        options = TransientOptions(
+            method=task.integration_method,
+            initial_state=task.initial_state,
+            store_waveform=False,
+            solver_method=task.solver_method,
+        )
+        analysis = DynamicNoiseAnalysis(design, task.design_spec.dt, options)
+        _WORKER_ANALYSES[key] = analysis
+    return analysis
+
+
+def shard_vectors(design: Design, spec: CorpusDesignSpec, index: int):
+    """Generate the test vectors of one shard, reproducibly.
+
+    The seeds of the *whole* suite are derived first and then sliced, so a
+    shard's vectors are identical to the same positions of
+    :meth:`~repro.workloads.vectors.TestVectorGenerator.generate_suite`
+    regardless of shard size or generation order.
+
+    Parameters
+    ----------
+    design:
+        The design the vectors excite.
+    spec:
+        The design's corpus slice.
+    index:
+        Shard index.
+
+    Returns
+    -------
+    List of :class:`~repro.sim.waveform.CurrentTrace`, one per vector of the
+    shard, named ``<design>-v<global index>``.
+    """
+    start, stop = spec.shard_bounds(index)
+    rngs = spawn_rngs(spec.seed, spec.num_vectors)[start:stop]
+    generator = TestVectorGenerator(design, spec.vector_config())
+    return [
+        generator.generate(rng, name=f"{design.name}-v{global_index:04d}")
+        for global_index, rng in zip(range(start, stop), rngs)
+    ]
+
+
+def _generate_shard(task: _ShardTask) -> dict:
+    """Generate one shard inside a worker; returns manifest-record fields.
+
+    Claims the shard first; when another live run holds the claim the task
+    returns a ``deferred`` marker instead of fighting over the file.
+    """
+    store = ShardStore(task.root)
+    if not store.claim(task.label, task.index):
+        return {"deferred": True, "label": task.label, "index": task.index}
+    try:
+        spec = task.design_spec
+        design = _worker_design(spec.design)
+        analysis = _worker_analysis(task, design)
+        traces = shard_vectors(design, spec, task.index)
+        dataset = build_dataset(
+            design,
+            traces,
+            compression_rate=spec.compression_rate,
+            rate_step=spec.rate_step,
+            analysis=analysis,
+            sim_batch_size=task.sim_batch_size,
+        )
+        content_hash = store.write_shard(task.label, task.index, dataset)
+        start, stop = spec.shard_bounds(task.index)
+        record = ShardRecord(
+            label=task.label,
+            index=task.index,
+            start=start,
+            stop=stop,
+            path=store.shard_relpath(task.label, task.index),
+            num_samples=len(dataset),
+            content_hash=content_hash,
+            seed=spec.seed,
+        )
+        return {"deferred": False, "record": record.to_dict(), "pid": os.getpid()}
+    finally:
+        store.release(task.label, task.index)
+
+
+def generate_corpus(
+    spec: CorpusSpec,
+    root: Union[str, Path],
+    num_workers: Optional[int] = None,
+    design_factory: DesignFactory = design_from_name,
+    resume: bool = True,
+    max_shards: Optional[int] = None,
+) -> GenerationReport:
+    """Generate (or finish) a training corpus on disk.
+
+    The call is idempotent and resumable: shards whose manifest records are
+    complete (and whose files exist) are skipped, everything else is
+    (re)generated, and the manifest is re-saved after every finished shard —
+    killing the run at any point loses at most the shards in flight.
+
+    Parameters
+    ----------
+    spec:
+        What to generate.  A resumed root must carry the same
+        :meth:`~repro.datagen.spec.CorpusSpec.config_hash`.
+    root:
+        Corpus root directory (created on demand).
+    num_workers:
+        Worker process count; ``0`` runs inline in this process (the lockstep
+        block solver still applies), ``None`` picks
+        ``min(pending shards, cpu_count)``.  Platforms that refuse to spawn
+        processes degrade to inline execution.
+    design_factory:
+        Top-level callable turning a spec's ``design`` reference into a
+        :class:`~repro.pdn.designs.Design` inside each worker (must be
+        picklable by reference).
+    resume:
+        ``False`` regenerates every shard from scratch, ignoring (and
+        overwriting) any previous manifest and shards.
+    max_shards:
+        Stop after generating this many shards (testing/ops knob — it is
+        how the resume tests simulate an interrupted run).
+
+    Returns
+    -------
+    A :class:`GenerationReport`; ``report.complete`` says whether the corpus
+    is now fully generated.
+
+    Raises
+    ------
+    ValueError
+        When resuming a root whose manifest hash does not match ``spec``.
+    """
+    root = Path(root)
+    store = ShardStore(root)
+    timer = Timer()
+
+    manifest = store.load_manifest() if resume else None
+    if manifest is not None and manifest.config_hash != spec.config_hash():
+        raise ValueError(
+            f"corpus at {root} was generated from a different spec "
+            f"(manifest hash {manifest.config_hash[:12]}…, "
+            f"spec hash {spec.config_hash()[:12]}…); "
+            "use a fresh root or resume=False to regenerate"
+        )
+    if manifest is None:
+        # Only a fresh manifest is written here; a resumed one is already on
+        # disk, and rewriting our possibly stale snapshot could erase a
+        # record a concurrent run lands in between (completions go through
+        # the read-merge-save of _record_completion instead).
+        manifest = CorpusManifest(spec)
+        store.save_manifest(manifest)
+    store.clear_stale_claims()
+
+    report = GenerationReport(root=root, shards_total=spec.total_shards, manifest=manifest)
+    tasks: list[_ShardTask] = []
+    for design in spec.designs:
+        for index in range(design.num_shards):
+            if (
+                resume
+                and manifest.is_complete(design.label, index)
+                and store.has_shard(design.label, index)
+            ):
+                report.shards_skipped += 1
+                continue
+            tasks.append(
+                _ShardTask(
+                    root=str(root),
+                    label=design.label,
+                    index=index,
+                    design_spec=design,
+                    sim_batch_size=spec.sim_batch_size,
+                    solver_method=spec.solver_method,
+                    integration_method=spec.integration_method,
+                    initial_state=spec.initial_state,
+                )
+            )
+    if max_shards is not None and len(tasks) > max_shards:
+        report.shards_deferred += len(tasks) - max_shards
+        tasks = tasks[:max_shards]
+
+    with timer.measure():
+        if tasks:
+            for outcome in _run_tasks(tasks, design_factory, num_workers):
+                if outcome.get("deferred"):
+                    report.shards_deferred += 1
+                    continue
+                record = ShardRecord.from_dict(outcome["record"])
+                _record_completion(store, manifest, record)
+                report.shards_generated += 1
+                report.samples_generated += record.num_samples
+    report.seconds = timer.last
+    _LOG.info(
+        "corpus at %s: %d generated, %d skipped, %d deferred (%.1f s)",
+        root,
+        report.shards_generated,
+        report.shards_skipped,
+        report.shards_deferred,
+        report.seconds,
+    )
+    return report
+
+
+def _record_completion(
+    store: ShardStore, manifest: CorpusManifest, record: ShardRecord
+) -> None:
+    """Add one finished shard to the manifest and persist it.
+
+    The on-disk manifest is merged in first, so two concurrent runs (each
+    generating the shards the other deferred) converge instead of the last
+    saver erasing the other's records.
+    """
+    try:
+        on_disk = store.load_manifest()
+    except (OSError, ValueError):
+        on_disk = None
+    if on_disk is not None and on_disk.config_hash == manifest.config_hash:
+        for existing in on_disk.records:
+            if manifest.get(existing.label, existing.index) is None:
+                manifest.add(existing)
+    manifest.add(record)
+    store.save_manifest(manifest)
+
+
+def _run_tasks(
+    tasks: Sequence[_ShardTask],
+    design_factory: DesignFactory,
+    num_workers: Optional[int],
+):
+    """Yield shard outcomes, from a worker pool when possible, else inline."""
+    completed = 0
+    if num_workers is None:
+        num_workers = min(len(tasks), os.cpu_count() or 1)
+    if num_workers and num_workers > 0:
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=num_workers,
+                initializer=_worker_init,
+                initargs=(design_factory,),
+            )
+        except (OSError, PermissionError, NotImplementedError) as error:
+            _LOG.warning("cannot create process pool (%s); generating inline", error)
+        else:
+            with pool:
+                try:
+                    for outcome in pool.map(_generate_shard, tasks):
+                        completed += 1
+                        yield outcome
+                    return
+                except (BrokenProcessPool, pickle.PicklingError) as error:
+                    # Worker startup/transport failure, not a shard failure —
+                    # shard exceptions propagate unchanged.  Shards already
+                    # yielded stay done (the caller recorded them); only the
+                    # remainder falls back to inline execution.  Hard-killed
+                    # workers never ran their release(), so drop their
+                    # dead-pid claims before retrying inline — otherwise the
+                    # fallback would defer exactly the shards it is meant to
+                    # finish.
+                    _LOG.warning(
+                        "process pool broke after %d/%d shards (%s); "
+                        "generating the rest inline",
+                        completed,
+                        len(tasks),
+                        error,
+                    )
+                    if tasks:
+                        ShardStore(tasks[0].root).clear_stale_claims()
+    _worker_init(design_factory)
+    for task in tasks[completed:]:
+        yield _generate_shard(task)

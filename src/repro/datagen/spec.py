@@ -1,0 +1,261 @@
+"""Corpus specifications for the dataset factory.
+
+A *corpus* is the training data for one or more designs: for every design, a
+number of random test vectors, their ground-truth worst-case noise maps, and
+the extracted features, produced in shards by :func:`repro.datagen.engine.
+generate_corpus`.  The spec objects here are the single source of truth for
+what a corpus contains:
+
+* :class:`CorpusDesignSpec` — one design's slice of the corpus (which design,
+  how many vectors, trace length, compression, shard size, seed);
+* :class:`CorpusSpec` — the full multi-design sweep plus the simulation
+  options shared by every design.
+
+Specs are frozen, picklable, and canonically hashable
+(:meth:`CorpusSpec.config_hash`); the hash is stamped into every manifest so
+a resumed run can prove it is continuing the same corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.sim.transient import INTEGRATION_METHODS, TransientOptions
+from repro.utils import check_positive
+from repro.workloads.vectors import VectorConfig
+
+
+@dataclass(frozen=True)
+class CorpusDesignSpec:
+    """One design's slice of a training corpus.
+
+    Attributes
+    ----------
+    label:
+        Manifest key for this design's shards (conventionally the design
+        name, e.g. ``"D1"``); must be unique within a corpus and usable as a
+        directory name.
+    design:
+        Design factory reference understood by the generation run's design
+        factory — ``"D1@0.2"``, ``"small@8"``, ... (see
+        :func:`repro.pdn.designs.design_from_name`).
+    num_vectors:
+        Total number of test vectors to generate and simulate.
+    num_steps:
+        Time stamps per vector.
+    dt:
+        Simulation time step in seconds.
+    seed:
+        Master seed of this design's vector suite.  Vector ``i`` is derived
+        exactly as :meth:`repro.workloads.vectors.TestVectorGenerator.
+        generate_suite` derives it, so a datagen corpus labels exactly the
+        same test vectors as the sequential pipeline for the same seed
+        (noise maps agree to solver rounding; see
+        ``docs/data-pipeline.md``).
+    shard_size:
+        Vectors per on-disk shard (the unit of parallelism and resume).
+    compression_rate / rate_step:
+        Algorithm-1 temporal-compression parameters applied to the features
+        (``None`` disables compression).
+    """
+
+    label: str
+    design: str
+    num_vectors: int = 40
+    num_steps: int = 200
+    dt: float = 1e-11
+    seed: int = 0
+    shard_size: int = 20
+    compression_rate: Optional[float] = 0.3
+    rate_step: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.label or "/" in self.label or self.label in (".", ".."):
+            raise ValueError(f"label must be a non-empty path-safe name, got {self.label!r}")
+        if not self.design:
+            raise ValueError("design reference must be non-empty")
+        check_positive(self.num_vectors, "num_vectors")
+        check_positive(self.shard_size, "shard_size")
+        check_positive(self.dt, "dt")
+        if self.num_steps < 2:
+            raise ValueError(f"num_steps must be >= 2, got {self.num_steps}")
+        if self.compression_rate is not None and not 0.0 < self.compression_rate <= 1.0:
+            raise ValueError(
+                f"compression_rate must be in (0, 1] or None, got {self.compression_rate}"
+            )
+        check_positive(self.rate_step, "rate_step")
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards this design's vectors are split into."""
+        return math.ceil(self.num_vectors / self.shard_size)
+
+    def shard_bounds(self, index: int) -> tuple[int, int]:
+        """Global vector index range ``[start, stop)`` of one shard.
+
+        Parameters
+        ----------
+        index:
+            Shard index in ``0 .. num_shards - 1``.
+
+        Returns
+        -------
+        The half-open ``(start, stop)`` vector-index interval.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ValueError(
+                f"shard index {index} out of range for {self.num_shards} shards"
+            )
+        start = index * self.shard_size
+        return start, min(self.num_vectors, start + self.shard_size)
+
+    def vector_config(self) -> VectorConfig:
+        """The test-vector generator configuration for this design."""
+        return VectorConfig(num_steps=self.num_steps, dt=self.dt)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A full multi-design corpus: design slices plus shared sim options.
+
+    Attributes
+    ----------
+    designs:
+        One :class:`CorpusDesignSpec` per design (unique labels).
+    sim_batch_size:
+        Vectors per lockstep transient block
+        (:meth:`~repro.sim.dynamic_noise.DynamicNoiseAnalysis.run_many`);
+        bounds the solver working set.
+    solver_method / integration_method / initial_state:
+        Ground-truth transient engine options (see
+        :class:`~repro.sim.transient.TransientOptions`).  The solver
+        defaults to ``"cholesky"`` — PDN system matrices are SPD, the
+        symmetric SuperLU mode produces ~40% sparser factors, and sparser
+        factors make every block back-substitution of the corpus run
+        proportionally faster.  Results agree with the ``"direct"`` LU
+        factorisation to solver rounding (~1e-14 relative; see
+        ``docs/data-pipeline.md``).
+    """
+
+    designs: tuple[CorpusDesignSpec, ...]
+    sim_batch_size: int = 48
+    solver_method: str = "cholesky"
+    integration_method: str = "backward_euler"
+    initial_state: str = "dc"
+
+    def __post_init__(self) -> None:
+        if not self.designs:
+            raise ValueError("a corpus needs at least one design")
+        labels = [design.label for design in self.designs]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"design labels must be unique, got {labels}")
+        check_positive(self.sim_batch_size, "sim_batch_size")
+        if self.integration_method not in INTEGRATION_METHODS:
+            raise ValueError(
+                f"unknown integration method {self.integration_method!r}; "
+                f"expected one of {INTEGRATION_METHODS}"
+            )
+        # Delegate the remaining option validation to TransientOptions.
+        self.transient_options()
+
+    def transient_options(self) -> TransientOptions:
+        """The transient-engine options every ground-truth run uses."""
+        return TransientOptions(
+            method=self.integration_method,
+            initial_state=self.initial_state,
+            store_waveform=False,
+            solver_method=self.solver_method,
+        )
+
+    def design(self, label: str) -> CorpusDesignSpec:
+        """Look up one design slice by its label."""
+        for spec in self.designs:
+            if spec.label == label:
+                return spec
+        raise KeyError(f"no design labelled {label!r} in this corpus")
+
+    @property
+    def total_vectors(self) -> int:
+        """Total vector count across all designs."""
+        return sum(design.num_vectors for design in self.designs)
+
+    @property
+    def total_shards(self) -> int:
+        """Total shard count across all designs."""
+        return sum(design.num_shards for design in self.designs)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (stored in the manifest)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorpusSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        payload = dict(payload)
+        payload["designs"] = tuple(
+            CorpusDesignSpec(**entry) for entry in payload["designs"]
+        )
+        return cls(**payload)
+
+    def config_hash(self) -> str:
+        """Canonical SHA-256 of the spec.
+
+        Two specs hash equally iff every generation-relevant field matches;
+        the manifest stores this hash and a resumed run refuses to continue
+        a corpus whose hash differs from its own spec.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def paper_corpus_spec(
+    scale: float = 0.2,
+    num_vectors: int = 40,
+    num_steps: int = 200,
+    shard_size: int = 20,
+    seed: int = 0,
+    compression_rate: Optional[float] = 0.3,
+) -> CorpusSpec:
+    """The paper's D1–D4 training sweep as one corpus spec.
+
+    One call to :func:`~repro.datagen.engine.generate_corpus` with this spec
+    produces per-design training corpora for all four reference analogues —
+    the datagen equivalent of the per-design training regime of Table 2.
+
+    Parameters
+    ----------
+    scale:
+        Geometric scale of the reference designs (``1.0`` = paper size).
+    num_vectors:
+        Vectors per design (the paper uses 500).
+    num_steps:
+        Time stamps per vector.
+    shard_size:
+        Vectors per shard.
+    seed:
+        Per-design vector seed (the same seed is safe across designs — the
+        designs differ, so the vector suites do too).
+    compression_rate:
+        Algorithm-1 retention rate for the features.
+
+    Returns
+    -------
+    A four-design :class:`CorpusSpec`.
+    """
+    designs = tuple(
+        CorpusDesignSpec(
+            label=name,
+            design=f"{name}@{scale}",
+            num_vectors=num_vectors,
+            num_steps=num_steps,
+            seed=seed,
+            shard_size=shard_size,
+            compression_rate=compression_rate,
+        )
+        for name in ("D1", "D2", "D3", "D4")
+    )
+    return CorpusSpec(designs=designs)

@@ -236,9 +236,75 @@ def extract_vector_features(
         Algorithm-1 sweep step.
     """
     maps = load_current_maps(trace, design)
+    return _features_from_maps(maps, trace.name, compression_rate, rate_step)
+
+
+def _features_from_maps(
+    maps: np.ndarray,
+    name: str,
+    compression_rate: Optional[float],
+    rate_step: float,
+) -> VectorFeatures:
+    """Apply Algorithm-1 compression to pre-tiled maps of one vector."""
     if compression_rate is None or compression_rate >= 1.0:
-        return VectorFeatures(current_maps=maps, compression=None, name=trace.name)
+        return VectorFeatures(current_maps=maps, compression=None, name=name)
     result = compress_current_maps(maps, compression_rate, rate_step)
     return VectorFeatures(
-        current_maps=result.compressed_maps, compression=result, name=trace.name
+        current_maps=result.compressed_maps, compression=result, name=name
     )
+
+
+def extract_vector_features_batch(
+    traces: Sequence[CurrentTrace],
+    design: Design,
+    compression_rate: Optional[float] = 0.3,
+    rate_step: float = 0.05,
+) -> list[VectorFeatures]:
+    """Extract features for a batch of vectors sharing one design.
+
+    The spatial tiling of the whole batch is a single sparse product (the
+    per-trace rows are independent, so each vector's maps are bit-identical
+    to :func:`extract_vector_features`); the temporal compression then runs
+    per vector, since Algorithm 1 ranks each vector's own time stamps.
+    This is the feature path of the dataset factory
+    (:mod:`repro.datagen`).
+
+    Parameters
+    ----------
+    traces:
+        Test vectors, all exciting ``design`` (lengths may differ).
+    design:
+        The shared design.
+    compression_rate / rate_step:
+        Algorithm-1 parameters, as in :func:`extract_vector_features`.
+
+    Returns
+    -------
+    One :class:`VectorFeatures` per trace, in input order.
+    """
+    traces = list(traces)
+    if not traces:
+        return []
+    for trace in traces:
+        if trace.num_loads != design.num_loads:
+            raise ValueError(
+                f"trace has {trace.num_loads} loads but design {design.name!r} "
+                f"has {design.num_loads}"
+            )
+    from repro.features.spatial import load_tile_incidence
+
+    tile_grid = design.tile_grid
+    incidence = load_tile_incidence(design)
+    stacked = np.concatenate([trace.currents for trace in traces], axis=0)
+    tiled = np.asarray(stacked @ incidence)
+    features = []
+    offset = 0
+    for trace in traces:
+        maps = tiled[offset:offset + trace.num_steps].reshape(
+            trace.num_steps, tile_grid.m, tile_grid.n
+        )
+        offset += trace.num_steps
+        features.append(
+            _features_from_maps(maps, trace.name, compression_rate, rate_step)
+        )
+    return features

@@ -36,6 +36,22 @@ def tile_incidence_matrix(tile_index: np.ndarray, num_tiles: int) -> sp.csr_matr
     ).tocsr()
 
 
+def load_tile_incidence(design: Design) -> sp.csr_matrix:
+    """The design's load-to-tile incidence matrix, cached on the design.
+
+    Feature extraction tiles every vector with the same ``(L, m*n)``
+    incidence, so it is built once per :class:`~repro.pdn.designs.Design`
+    instance and memoised on the object — corpus generation extracts
+    features for thousands of vectors per design and must not rebuild it
+    each time.
+    """
+    cached = getattr(design, "_load_tile_incidence", None)
+    if cached is None:
+        cached = tile_incidence_matrix(design.load_tile_index, design.tile_grid.num_tiles)
+        design._load_tile_incidence = cached  # lazily attached cache slot
+    return cached
+
+
 def load_current_maps(trace: CurrentTrace, design: Design) -> np.ndarray:
     """Per-stamp load-current tile maps, shape ``(T, m, n)``.
 
@@ -48,7 +64,7 @@ def load_current_maps(trace: CurrentTrace, design: Design) -> np.ndarray:
             f"trace has {trace.num_loads} loads but design {design.name!r} has {design.num_loads}"
         )
     tile_grid = design.tile_grid
-    incidence = tile_incidence_matrix(design.load_tile_index, tile_grid.num_tiles)
+    incidence = load_tile_incidence(design)
     tiled = trace.currents @ incidence  # (T, num_tiles)
     return np.asarray(tiled).reshape(trace.num_steps, tile_grid.m, tile_grid.n)
 

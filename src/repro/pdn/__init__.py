@@ -23,6 +23,7 @@ from repro.pdn.designs import (
     Design,
     DesignSpec,
     LayerSpec,
+    design_from_name,
     make_design,
     reference_design,
     reference_design_names,
@@ -53,6 +54,7 @@ __all__ = [
     "Design",
     "DesignSpec",
     "LayerSpec",
+    "design_from_name",
     "make_design",
     "reference_design",
     "reference_design_names",

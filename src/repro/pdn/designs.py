@@ -351,6 +351,37 @@ def reference_design_names() -> tuple[str, ...]:
     return ("D1", "D2", "D3", "D4")
 
 
+def design_from_name(name: str, seed: RandomState = 0) -> Design:
+    """Build a design from a compact factory reference string.
+
+    The string format is shared by the serving sweep and the dataset
+    factory, whose worker processes rebuild designs from these references
+    rather than unpickling full :class:`Design` objects:
+
+    * ``"small"`` or ``"small@<tiles>"`` — the unit-test design at the given
+      square tile count (default 8);
+    * ``"D1"`` .. ``"D4"``, optionally ``"D1@<scale>"`` — a reference
+      analogue at the given geometric scale (default 0.2).
+
+    Parameters
+    ----------
+    name:
+        Factory reference, e.g. ``"D2@0.15"``.
+    seed:
+        Seed for the design's stochastic parts (bump jitter, loads).
+
+    Returns
+    -------
+    The assembled :class:`Design`.
+    """
+    base, _, suffix = name.partition("@")
+    if base == "small":
+        tiles = int(suffix) if suffix else 8
+        return small_test_design(tile_rows=tiles, tile_cols=tiles, seed=seed)
+    scale = float(suffix) if suffix else 0.2
+    return reference_design(base, scale=scale, seed=seed)
+
+
 def small_test_design(
     tile_rows: int = 8,
     tile_cols: int = 8,

@@ -173,6 +173,35 @@ class MNASystem:
         np.add.at(rhs, self.load_nodes, load_currents)
         return rhs
 
+    def load_vector_block(self, load_currents: np.ndarray) -> np.ndarray:
+        """Scatter a block of per-load currents into stacked RHS columns.
+
+        The block form of :meth:`load_vector`: one scatter call covers every
+        column, and column ``k`` of the result is bit-identical to
+        ``load_vector(load_currents[k])`` (loads sharing a node accumulate in
+        the same order).  This is the right-hand-side builder of the lockstep
+        transient path (:meth:`repro.sim.transient.TransientEngine.run_many`).
+
+        Parameters
+        ----------
+        load_currents:
+            Array of shape ``(k, num_loads)``: one row of instantaneous load
+            currents (A) per right-hand side.
+
+        Returns
+        -------
+        RHS block of shape ``(num_nodes, k)``.
+        """
+        load_currents = np.asarray(load_currents, dtype=float)
+        if load_currents.ndim != 2 or load_currents.shape[1] != self.num_loads:
+            raise ValueError(
+                f"load_currents must have shape (k, {self.num_loads}), "
+                f"got {load_currents.shape}"
+            )
+        rhs = np.zeros((self.num_nodes, load_currents.shape[0]))
+        np.add.at(rhs, self.load_nodes, load_currents.T)
+        return rhs
+
 
 def build_mna(grid: PowerGrid, package: Optional[PackageModel] = None) -> MNASystem:
     """Stamp a power grid (plus optional package) into an :class:`MNASystem`.

@@ -26,7 +26,7 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from repro.io.results import ExperimentRecord
-from repro.pdn.designs import Design, reference_design, small_test_design
+from repro.pdn.designs import Design, design_from_name
 from repro.serving.registry import PredictorRegistry
 from repro.utils import Timer, get_logger
 from repro.workloads.scenarios import build_scenario
@@ -63,16 +63,12 @@ class ScenarioJob:
 def default_design_factory(name: str) -> Design:
     """Build a design from its sweep name.
 
-    ``"small"`` (optionally ``"small@<tiles>"``) maps to
-    :func:`~repro.pdn.designs.small_test_design`; ``"D1"`` .. ``"D4"``
-    (optionally ``"D1@<scale>"``) map to the reference analogues.
+    Delegates to :func:`repro.pdn.designs.design_from_name` (seed 0):
+    ``"small"`` (optionally ``"small@<tiles>"``) maps to the unit-test
+    design; ``"D1"`` .. ``"D4"`` (optionally ``"D1@<scale>"``) map to the
+    reference analogues.
     """
-    base, _, suffix = name.partition("@")
-    if base == "small":
-        tiles = int(suffix) if suffix else 8
-        return small_test_design(tile_rows=tiles, tile_cols=tiles, seed=0)
-    scale = float(suffix) if suffix else 0.2
-    return reference_design(base, scale=scale, seed=0)
+    return design_from_name(name, seed=0)
 
 
 # Per-worker state, initialised once per process by _worker_init.

@@ -57,12 +57,32 @@ class LinearSolver(abc.ABC):
     def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
         """Solve for several right-hand sides stacked as columns.
 
-        The default implementation loops; direct solvers override with a
-        vectorised back-substitution.
+        Parameters
+        ----------
+        rhs_matrix:
+            Either a single right-hand side of shape ``(n,)`` or a block of
+            ``k`` right-hand sides stacked as columns, shape ``(n, k)``.
+
+        Returns
+        -------
+        The solutions in the same layout as the input (``(n,)`` or
+        ``(n, k)``).  Column ``j`` agrees with ``solve(rhs_matrix[:, j])``
+        to solver rounding (see :class:`_FactorizedDirectSolver`).
+
+        Iterative solvers fall back to a per-column loop (each column keeps
+        its own convergence history); factorised direct solvers dispatch the
+        whole block to one back-substitution call.
         """
         rhs_matrix = np.asarray(rhs_matrix, dtype=float)
         if rhs_matrix.ndim == 1:
             return self.solve(rhs_matrix)
+        if rhs_matrix.ndim != 2 or rhs_matrix.shape[0] != self.size:
+            raise ValueError(
+                f"rhs_matrix must have shape ({self.size},) or ({self.size}, k), "
+                f"got {rhs_matrix.shape}"
+            )
+        if rhs_matrix.shape[1] == 0:
+            return rhs_matrix.copy()
         return np.column_stack([self.solve(rhs_matrix[:, j]) for j in range(rhs_matrix.shape[1])])
 
     def residual_norm(self, x: np.ndarray, rhs: np.ndarray) -> float:
@@ -73,26 +93,58 @@ class LinearSolver(abc.ABC):
         return float(np.linalg.norm(self._matrix @ x - rhs) / rhs_norm)
 
 
-class DirectSolver(LinearSolver):
+class _FactorizedDirectSolver(LinearSolver):
+    """Shared solve paths for solvers backed by a SuperLU factorisation.
+
+    Subclasses set ``self._lu`` in their constructor.  Both the single- and
+    multi-RHS paths go through the factorisation object directly, so a block
+    of right-hand sides is always solved in **one** back-substitution call —
+    never a per-column Python loop.  SuperLU back-substitutes the columns of
+    a block independently of each other; ``solve_many(B)[:, j]`` equals
+    ``solve(B[:, j])`` up to a few ULPs (the multi-RHS kernel may round
+    differently than the single-RHS one — data-dependent, observed at the
+    1e-17 level) and is *deterministic* for a given block, which is what the
+    dataset factory's reproducibility contract builds on (see
+    ``tests/sim/test_linear.py`` and ``docs/data-pipeline.md``).
+    """
+
+    _lu: spla.SuperLU
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` for one right-hand side of shape ``(n,)``."""
+        rhs = np.asarray(rhs, dtype=float)
+        check_finite(rhs, "rhs")
+        return self._lu.solve(rhs)
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        """Solve a whole RHS block ``(n, k)`` in a single factorised call.
+
+        Falls through to :meth:`solve` for a 1-D input.  See
+        :meth:`LinearSolver.solve_many` for the layout contract.
+        """
+        rhs_matrix = np.asarray(rhs_matrix, dtype=float)
+        if rhs_matrix.ndim == 1:
+            return self.solve(rhs_matrix)
+        if rhs_matrix.ndim != 2 or rhs_matrix.shape[0] != self.size:
+            raise ValueError(
+                f"rhs_matrix must have shape ({self.size},) or ({self.size}, k), "
+                f"got {rhs_matrix.shape}"
+            )
+        if rhs_matrix.shape[1] == 0:
+            return rhs_matrix.copy()
+        check_finite(rhs_matrix, "rhs_matrix")
+        return self._lu.solve(rhs_matrix)
+
+
+class DirectSolver(_FactorizedDirectSolver):
     """Sparse LU (SuperLU) factorisation; factor once, solve many times."""
 
     def __init__(self, matrix: sp.spmatrix):
         super().__init__(matrix)
         self._lu = spla.splu(self._matrix)
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
-        rhs = np.asarray(rhs, dtype=float)
-        check_finite(rhs, "rhs")
-        return self._lu.solve(rhs)
 
-    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
-        rhs_matrix = np.asarray(rhs_matrix, dtype=float)
-        if rhs_matrix.ndim == 1:
-            return self.solve(rhs_matrix)
-        return self._lu.solve(rhs_matrix)
-
-
-class CholeskySolver(LinearSolver):
+class CholeskySolver(_FactorizedDirectSolver):
     """Symmetric factorisation via SuperLU on the symmetrised system.
 
     scipy has no sparse Cholesky; we keep the symmetric permutation options of
@@ -108,17 +160,6 @@ class CholeskySolver(LinearSolver):
             permc_spec="MMD_AT_PLUS_A",
             options={"SymmetricMode": True},
         )
-
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
-        rhs = np.asarray(rhs, dtype=float)
-        check_finite(rhs, "rhs")
-        return self._lu.solve(rhs)
-
-    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
-        rhs_matrix = np.asarray(rhs_matrix, dtype=float)
-        if rhs_matrix.ndim == 1:
-            return self.solve(rhs_matrix)
-        return self._lu.solve(rhs_matrix)
 
 
 @dataclass

@@ -14,7 +14,7 @@ used to validate accuracy) are provided.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -145,11 +145,15 @@ class TransientEngine:
         """The MNA system being integrated."""
         return self._mna
 
-    def _dc_state(self, load_currents: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """DC droop and inductor branch currents for given load currents."""
+    def _static(self) -> LinearSolver:
+        """The lazily built static (DC) solver shared by all initial states."""
         if self._static_solver is None:
             self._static_solver = make_solver(self._mna.static_conductance(), "direct")
-        droop = self._static_solver.solve(self._mna.load_vector(load_currents))
+        return self._static_solver
+
+    def _dc_state(self, load_currents: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """DC droop and inductor branch currents for given load currents."""
+        droop = self._static().solve(self._mna.load_vector(load_currents))
         if self._mna.num_inductors:
             v_a = droop[self._mna.ind_a]
             v_b = np.where(
@@ -160,12 +164,32 @@ class TransientEngine:
             branch_current = np.empty(0)
         return droop, branch_current
 
-    def run(self, trace: CurrentTrace) -> TransientResult:
-        """Integrate the system over a current trace.
+    def _dc_state_block(self, load_currents: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Block form of :meth:`_dc_state`.
 
-        The trace's ``dt`` must match the engine's ``dt`` (the factorisation
-        depends on it).
+        Parameters
+        ----------
+        load_currents:
+            Per-trace first-stamp currents, shape ``(V, L)``.
+
+        Returns
+        -------
+        ``(droop, branch_current)`` with one column per trace: shapes
+        ``(N, V)`` and ``(num_inductors, V)``.
         """
+        num_traces = load_currents.shape[0]
+        droop = self._static().solve_many(self._mna.load_vector_block(load_currents))
+        if self._mna.num_inductors:
+            to_ref = (self._mna.ind_b == REFERENCE_NODE)[:, np.newaxis]
+            v_a = droop[self._mna.ind_a]
+            v_b = np.where(to_ref, 0.0, droop[np.maximum(self._mna.ind_b, 0)])
+            branch_current = (v_a - v_b) / INDUCTOR_SHORT_RESISTANCE
+        else:
+            branch_current = np.empty((0, num_traces))
+        return droop, branch_current
+
+    def _check_trace(self, trace: CurrentTrace) -> None:
+        """Validate one trace against the engine's dt and load count."""
         if not np.isclose(trace.dt, self._dt, rtol=1e-9, atol=0.0):
             raise ValueError(
                 f"trace dt {trace.dt} does not match engine dt {self._dt}; "
@@ -175,6 +199,14 @@ class TransientEngine:
             raise ValueError(
                 f"trace has {trace.num_loads} loads but the design has {self._mna.num_loads}"
             )
+
+    def run(self, trace: CurrentTrace) -> TransientResult:
+        """Integrate the system over a current trace.
+
+        The trace's ``dt`` must match the engine's ``dt`` (the factorisation
+        depends on it).
+        """
+        self._check_trace(trace)
 
         mna = self._mna
         options = self._options
@@ -245,3 +277,174 @@ class TransientEngine:
             dt=self._dt,
             waveform=waveform,
         )
+
+    # ------------------------------------------------------------------ #
+    # lockstep block integration
+    # ------------------------------------------------------------------ #
+
+    def run_many(
+        self,
+        traces: Sequence[CurrentTrace],
+        batch_size: Optional[int] = None,
+    ) -> list[TransientResult]:
+        """Integrate several traces in lockstep through one factorisation.
+
+        Dynamic PDN analysis is a series of static solves against one
+        matrix; this is the block-RHS version of that observation.  Traces
+        are grouped by length and each group advances through time together:
+        at every stamp the per-trace right-hand sides are stacked as columns
+        and handed to the solver's block back-substitution
+        (:meth:`~repro.sim.linear.LinearSolver.solve_many`) in a **single**
+        call, so the per-solve overhead — and all per-step Python work — is
+        amortised across the whole batch.  This is the hot path of the
+        dataset factory (:mod:`repro.datagen`).
+
+        Column back-substitutions are independent inside SuperLU: each
+        returned :class:`TransientResult` agrees with what :meth:`run`
+        produces for the same trace to solver rounding (usually bit-equal;
+        at worst a few ULPs, because the multi-RHS kernel may round
+        differently), and results are fully deterministic for a given batch
+        decomposition (asserted by ``tests/sim/test_transient.py``).
+
+        Parameters
+        ----------
+        traces:
+            Current traces; each must match the engine's ``dt`` and the
+            design's load count.  Lengths may differ (equal lengths batch
+            best).
+        batch_size:
+            Maximum number of traces integrated per lockstep block — bounds
+            the ``(N, batch_size)`` working set.  ``None`` integrates each
+            equal-length group as one block.
+
+        Returns
+        -------
+        One :class:`TransientResult` per trace, in input order.
+        """
+        traces = list(traces)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        for trace in traces:
+            self._check_trace(trace)
+
+        results: list[Optional[TransientResult]] = [None] * len(traces)
+        groups: dict[int, list[int]] = {}
+        for index, trace in enumerate(traces):
+            groups.setdefault(trace.num_steps, []).append(index)
+        for indices in groups.values():
+            limit = batch_size or len(indices)
+            for start in range(0, len(indices), limit):
+                chunk = indices[start:start + limit]
+                for index, result in zip(chunk, self._run_block([traces[i] for i in chunk])):
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+    def _run_block(self, traces: list[CurrentTrace]) -> list[TransientResult]:
+        """Lockstep integration of equal-length traces (one column each)."""
+        mna = self._mna
+        options = self._options
+        num_nodes = mna.num_nodes
+        num_traces = len(traces)
+        num_steps = traces[0].num_steps
+        trapezoidal = options.method == "trapezoidal"
+        currents = np.stack([trace.currents for trace in traces])  # (V, T, L)
+
+        if options.initial_state == "dc":
+            droop, inductor_current = self._dc_state_block(currents[:, 0, :])
+        else:
+            droop = np.zeros((num_nodes, num_traces))
+            inductor_current = np.zeros((mna.num_inductors, num_traces))
+        cap_current = np.zeros((num_nodes, num_traces))
+
+        max_droop = droop.copy()
+        if num_nodes:
+            worst_droop = droop.max(axis=0)
+        else:
+            worst_droop = np.zeros(num_traces)
+        worst_time_index = np.zeros(num_traces, dtype=int)
+        stored = [droop.copy()] if options.store_waveform else None
+
+        cap_companion = self._cap_companion[:, np.newaxis]
+        ind_companion = self._ind_companion[:, np.newaxis]
+        ind_a = mna.ind_a
+        ind_b = mna.ind_b
+        ind_to_ref = ind_b == REFERENCE_NODE
+        ind_b_safe = np.where(ind_to_ref, 0, ind_b)
+        ind_to_ref_col = ind_to_ref[:, np.newaxis]
+
+        # Scatter fast paths: when indices are unique (the common case —
+        # loads rarely share a node, package inductors never do), plain
+        # fancy-indexed assignment replaces the much slower ``np.ufunc.at``
+        # with bit-identical results.
+        load_nodes = mna.load_nodes
+        unique_loads = np.unique(load_nodes).size == load_nodes.size
+        unique_inductors = np.unique(ind_a).size == ind_a.size
+        any_internal_ind = bool(np.any(~ind_to_ref))
+        # (T, L, V) layout makes the per-step slice contiguous.
+        step_currents = np.ascontiguousarray(currents.transpose(1, 2, 0))
+        rhs = np.empty((num_nodes, num_traces))
+
+        for step in range(1, num_steps):
+            rhs.fill(0.0)
+            if unique_loads:
+                rhs[load_nodes] = step_currents[step]
+            else:
+                np.add.at(rhs, load_nodes, step_currents[step])
+            rhs += cap_companion * droop
+            if trapezoidal:
+                rhs += cap_current
+            if mna.num_inductors:
+                if trapezoidal:
+                    v_ab = droop[ind_a] - np.where(ind_to_ref_col, 0.0, droop[ind_b_safe])
+                    history = inductor_current + ind_companion * v_ab
+                else:
+                    history = inductor_current
+                if unique_inductors:
+                    rhs[ind_a] -= history
+                else:
+                    np.subtract.at(rhs, ind_a, history)
+                if any_internal_ind:
+                    np.add.at(rhs, ind_b_safe[~ind_to_ref], history[~ind_to_ref])
+
+            new_droop = self._solver.solve_many(rhs)
+
+            if mna.num_inductors:
+                v_ab_new = new_droop[ind_a] - np.where(
+                    ind_to_ref_col, 0.0, new_droop[ind_b_safe]
+                )
+                if trapezoidal:
+                    inductor_current = history + ind_companion * v_ab_new
+                else:
+                    inductor_current = inductor_current + ind_companion * v_ab_new
+            if trapezoidal:
+                cap_current = cap_companion * (new_droop - droop) - cap_current
+
+            droop = new_droop
+            np.maximum(max_droop, droop, out=max_droop)
+            if num_nodes:
+                step_worst = droop.max(axis=0)
+                improved = step_worst > worst_droop
+                worst_droop[improved] = step_worst[improved]
+                worst_time_index[improved] = step
+            if stored is not None:
+                stored.append(droop.copy())
+
+        results = []
+        for column in range(num_traces):
+            waveform = None
+            if stored is not None:
+                waveform = VoltageWaveform(
+                    np.stack([frame[:, column] for frame in stored]), self._dt
+                )
+            results.append(
+                TransientResult(
+                    max_droop_per_node=max_droop[:, column].copy(),
+                    final_droop=droop[:, column].copy(),
+                    worst_droop=float(worst_droop[column]),
+                    worst_time_index=int(worst_time_index[column]),
+                    num_steps=num_steps,
+                    dt=self._dt,
+                    waveform=waveform,
+                )
+            )
+        return results

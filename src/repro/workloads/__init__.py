@@ -13,6 +13,7 @@ from repro.workloads.dataset import (
     NoiseSample,
     build_dataset,
     expansion_split,
+    merge_datasets,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "NoiseSample",
     "build_dataset",
     "expansion_split",
+    "merge_datasets",
 ]

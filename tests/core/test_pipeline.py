@@ -77,3 +77,77 @@ class TestWorstCaseNoiseFramework:
         predicted = framework_result.predicted_test_maps
         assert np.all(np.isfinite(predicted))
         assert predicted.max() < tiny_design.spec.vdd
+
+
+class TestCorpusWiring:
+    def test_build_dataset_from_corpus(self, tmp_path):
+        from repro.datagen import CorpusSpec, generate_corpus
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import WorstCaseNoiseFramework
+        from repro.pdn.designs import design_from_name
+
+        design = design_from_name("small@8")
+        config = PipelineConfig(num_vectors=6, num_steps=40)
+        framework = WorstCaseNoiseFramework(design, config)
+        spec = CorpusSpec(
+            designs=(framework.corpus_design_spec("small@8", shard_size=3),)
+        )
+        generate_corpus(spec, tmp_path, num_workers=0)
+
+        from_corpus = framework.build_dataset(corpus_dir=tmp_path)
+        in_process = framework.build_dataset()
+        assert len(from_corpus) == len(in_process) == 6
+        for ours, theirs in zip(from_corpus.samples, in_process.samples):
+            assert ours.name == theirs.name
+            np.testing.assert_allclose(ours.target, theirs.target, rtol=1e-9, atol=1e-13)
+
+    def test_corpus_design_spec_mirrors_config(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import WorstCaseNoiseFramework
+        from repro.pdn.designs import design_from_name
+
+        design = design_from_name("small@8")
+        config = PipelineConfig(num_vectors=20, num_steps=50, seed=3, compression_rate=0.5)
+        spec = WorstCaseNoiseFramework(design, config).corpus_design_spec("small@8")
+        assert spec.label == design.name
+        assert spec.num_vectors == 20
+        assert spec.num_steps == 50
+        assert spec.seed == 3
+        assert spec.compression_rate == 0.5
+        assert spec.shard_size == 5
+
+    def test_traces_and_corpus_dir_exclusive(self, tmp_path):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import WorstCaseNoiseFramework
+        from repro.pdn.designs import design_from_name
+
+        design = design_from_name("small@8")
+        framework = WorstCaseNoiseFramework(design, PipelineConfig(num_vectors=4, num_steps=30))
+        with pytest.raises(ValueError):
+            framework.build_dataset(traces=[], corpus_dir=tmp_path)
+
+    def test_corpus_spec_carries_transient_options(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import WorstCaseNoiseFramework
+        from repro.pdn.designs import design_from_name
+        from repro.sim.transient import TransientOptions
+
+        design = design_from_name("small@8")
+        framework = WorstCaseNoiseFramework(
+            design,
+            PipelineConfig(num_vectors=8, num_steps=40, sim_batch_size=4),
+            transient_options=TransientOptions(
+                method="trapezoidal", initial_state="zero", solver_method="cg"
+            ),
+        )
+        spec = framework.corpus_spec("small@8")
+        assert spec.integration_method == "trapezoidal"
+        assert spec.initial_state == "zero"
+        assert spec.solver_method == "cg"
+        assert spec.sim_batch_size == 4
+        # Unset sim_batch_size maps to true per-vector simulation.
+        per_vector = WorstCaseNoiseFramework(
+            design, PipelineConfig(num_vectors=8, num_steps=40)
+        ).corpus_spec("small@8")
+        assert per_vector.sim_batch_size == 1
+        assert per_vector.solver_method == "direct"

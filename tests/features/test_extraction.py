@@ -110,3 +110,41 @@ class TestExtractVectorFeatures:
     def test_summary_maps_shape(self, tiny_design, tiny_traces):
         features = extract_vector_features(tiny_traces[0], tiny_design, compression_rate=0.5)
         assert features.summary_maps().shape == (3,) + tiny_design.tile_grid.shape
+
+
+class TestBatchExtraction:
+    def test_matches_per_vector(self, tiny_design, tiny_traces):
+        from repro.features.extraction import (
+            extract_vector_features,
+            extract_vector_features_batch,
+        )
+
+        batched = extract_vector_features_batch(
+            tiny_traces[:4], tiny_design, compression_rate=0.4
+        )
+        for trace, ours in zip(tiny_traces, batched):
+            theirs = extract_vector_features(trace, tiny_design, compression_rate=0.4)
+            assert ours.name == theirs.name
+            np.testing.assert_array_equal(ours.current_maps, theirs.current_maps)
+
+    def test_no_compression(self, tiny_design, tiny_traces):
+        from repro.features.extraction import extract_vector_features_batch
+
+        batched = extract_vector_features_batch(
+            tiny_traces[:2], tiny_design, compression_rate=None
+        )
+        assert batched[0].current_maps.shape[0] == tiny_traces[0].num_steps
+        assert batched[0].compression is None
+
+    def test_empty_batch(self, tiny_design):
+        from repro.features.extraction import extract_vector_features_batch
+
+        assert extract_vector_features_batch([], tiny_design) == []
+
+    def test_rejects_wrong_load_count(self, tiny_design):
+        from repro.features.extraction import extract_vector_features_batch
+        from repro.sim.waveform import CurrentTrace
+
+        bad = CurrentTrace(np.ones((5, 3)), 1e-11)
+        with pytest.raises(ValueError):
+            extract_vector_features_batch([bad], tiny_design)

@@ -73,3 +73,34 @@ class TestWorstCaseSummary:
     def test_empty_results_rejected(self):
         with pytest.raises(ValueError):
             worst_case_summary([])
+
+
+class TestRunManyBatched:
+    def test_matches_per_vector_run(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        batched = analysis.run_many(tiny_traces[:4])
+        for trace, block in zip(tiny_traces, batched):
+            single = analysis.run(trace)
+            np.testing.assert_allclose(
+                block.tile_noise, single.tile_noise, rtol=1e-12, atol=1e-16
+            )
+            np.testing.assert_array_equal(block.hotspot_map, single.hotspot_map)
+            assert block.worst_noise == pytest.approx(single.worst_noise, rel=1e-12)
+
+    def test_runtime_split_evenly(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        results = analysis.run_many(tiny_traces[:4])
+        runtimes = {result.runtime_seconds for result in results}
+        assert len(runtimes) == 1
+        assert runtimes.pop() > 0
+
+    def test_empty_batch(self, tiny_design):
+        analysis = DynamicNoiseAnalysis(tiny_design, 1e-11)
+        assert analysis.run_many([]) == []
+
+    def test_batch_size_forwarded(self, tiny_design, tiny_traces):
+        analysis = DynamicNoiseAnalysis(tiny_design, tiny_traces[0].dt)
+        whole = analysis.run_many(tiny_traces[:4])
+        chunked = analysis.run_many(tiny_traces[:4], batch_size=2)
+        for a, b in zip(whole, chunked):
+            np.testing.assert_allclose(a.tile_noise, b.tile_noise, rtol=1e-12, atol=1e-16)

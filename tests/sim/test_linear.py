@@ -109,6 +109,82 @@ class TestConjugateGradientSolver:
         np.testing.assert_allclose(solver.solve(np.zeros(matrix.shape[0])), 0.0)
 
 
+class TestBlockSolve:
+    """Regression: direct factorised solvers solve RHS blocks in one call.
+
+    ``solve_many`` used to fall back to a per-column Python loop; these
+    tests pin the block path's contract — one back-substitution call whose
+    columns agree with per-column ``solve`` to solver rounding, and
+    deterministic results for a given block.
+    """
+
+    @pytest.mark.parametrize("solver_class", [DirectSolver, CholeskySolver])
+    def test_block_matches_per_column(self, spd_system, solver_class):
+        matrix, rhs, _ = spd_system
+        solver = solver_class(matrix)
+        rng = np.random.default_rng(7)
+        block = rng.random((matrix.shape[0], 9))
+        block[:, 0] = rhs
+        stacked = solver.solve_many(block)
+        for j in range(block.shape[1]):
+            np.testing.assert_allclose(
+                stacked[:, j], solver.solve(block[:, j]), rtol=1e-13, atol=1e-16
+            )
+
+    @pytest.mark.parametrize("solver_class", [DirectSolver, CholeskySolver])
+    def test_block_is_deterministic(self, spd_system, solver_class):
+        matrix, _, _ = spd_system
+        solver = solver_class(matrix)
+        block = np.random.default_rng(8).random((matrix.shape[0], 5))
+        first = solver.solve_many(block)
+        np.testing.assert_array_equal(first, solver.solve_many(block))
+
+    def test_single_call_back_substitution(self, spd_system):
+        """The whole block goes through SuperLU once — never a column loop."""
+        matrix, _, _ = spd_system
+        solver = DirectSolver(matrix)
+        calls = []
+        real_lu = solver._lu
+
+        class CountingLU:
+            def solve(self, rhs_block):
+                calls.append(np.asarray(rhs_block).shape)
+                return real_lu.solve(rhs_block)
+
+        solver._lu = CountingLU()
+        block = np.random.default_rng(9).random((matrix.shape[0], 6))
+        solver.solve_many(block)
+        assert calls == [(matrix.shape[0], 6)]
+
+    def test_iterative_fallback_loops_per_column(self, spd_system):
+        matrix, rhs, reference = spd_system
+        solver = ConjugateGradientSolver(matrix, tolerance=1e-12)
+        block = np.column_stack([rhs, 3.0 * rhs])
+        stacked = solver.solve_many(block)
+        np.testing.assert_allclose(stacked[:, 0], reference, rtol=1e-6, atol=1e-10)
+        np.testing.assert_allclose(stacked[:, 1], 3.0 * reference, rtol=1e-6, atol=1e-10)
+
+    def test_empty_block(self, spd_system):
+        matrix, _, _ = spd_system
+        solver = DirectSolver(matrix)
+        result = solver.solve_many(np.empty((matrix.shape[0], 0)))
+        assert result.shape == (matrix.shape[0], 0)
+
+    def test_rejects_wrong_height(self, spd_system):
+        matrix, _, _ = spd_system
+        solver = DirectSolver(matrix)
+        with pytest.raises(ValueError):
+            solver.solve_many(np.ones((matrix.shape[0] + 1, 2)))
+
+    def test_rejects_nan_block(self, spd_system):
+        matrix, _, _ = spd_system
+        solver = DirectSolver(matrix)
+        block = np.ones((matrix.shape[0], 2))
+        block[3, 1] = np.nan
+        with pytest.raises(ValueError):
+            solver.solve_many(block)
+
+
 class TestMakeSolver:
     @pytest.mark.parametrize("method", ["direct", "cholesky", "cg", "multigrid"])
     def test_all_methods_solve(self, spd_system, method):

@@ -123,3 +123,84 @@ class TestTransientEngine:
         assert 0 <= result.worst_time_index < 100
         # The worst droop happens after the current step is applied.
         assert result.worst_time_index >= 50
+
+
+class TestRunMany:
+    """Lockstep block integration (the dataset factory's hot path)."""
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            TransientOptions(),
+            TransientOptions(method="trapezoidal"),
+            TransientOptions(initial_state="zero"),
+            TransientOptions(store_waveform=True),
+        ],
+        ids=["backward_euler", "trapezoidal", "zero_init", "waveform"],
+    )
+    def test_matches_per_trace_run(self, tiny_design, tiny_traces, options):
+        engine = TransientEngine(tiny_design.mna, tiny_traces[0].dt, options)
+        traces = tiny_traces[:5]
+        batched = engine.run_many(traces)
+        for trace, block in zip(traces, batched):
+            single = engine.run(trace)
+            np.testing.assert_allclose(
+                block.max_droop_per_node, single.max_droop_per_node,
+                rtol=1e-12, atol=1e-16,
+            )
+            np.testing.assert_allclose(
+                block.final_droop, single.final_droop, rtol=1e-12, atol=1e-16
+            )
+            assert block.worst_droop == pytest.approx(single.worst_droop, rel=1e-12)
+            assert block.num_steps == single.num_steps
+            if options.store_waveform:
+                np.testing.assert_allclose(
+                    block.waveform.droops, single.waveform.droops,
+                    rtol=1e-12, atol=1e-16,
+                )
+
+    def test_deterministic_for_fixed_batch(self, tiny_design, tiny_traces):
+        engine = TransientEngine(tiny_design.mna, tiny_traces[0].dt)
+        first = engine.run_many(tiny_traces[:4])
+        second = engine.run_many(tiny_traces[:4])
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.max_droop_per_node, b.max_droop_per_node)
+            assert a.worst_droop == b.worst_droop
+            assert a.worst_time_index == b.worst_time_index
+
+    def test_batch_size_chunks_preserve_order(self, tiny_design, tiny_traces):
+        engine = TransientEngine(tiny_design.mna, tiny_traces[0].dt)
+        whole = engine.run_many(tiny_traces[:5])
+        chunked = engine.run_many(tiny_traces[:5], batch_size=2)
+        for a, b in zip(whole, chunked):
+            np.testing.assert_allclose(
+                a.max_droop_per_node, b.max_droop_per_node, rtol=1e-12, atol=1e-16
+            )
+
+    def test_mixed_lengths_grouped(self, tiny_design, tiny_traces):
+        dt = tiny_traces[0].dt
+        engine = TransientEngine(tiny_design.mna, dt)
+        short = tiny_traces[0].subset(np.arange(30))
+        mixed = [tiny_traces[1], short, tiny_traces[2]]
+        results = engine.run_many(mixed)
+        assert [r.num_steps for r in results] == [t.num_steps for t in mixed]
+        single = engine.run(short)
+        np.testing.assert_allclose(
+            results[1].max_droop_per_node, single.max_droop_per_node,
+            rtol=1e-12, atol=1e-16,
+        )
+
+    def test_empty_batch(self, tiny_design):
+        engine = TransientEngine(tiny_design.mna, 1e-11)
+        assert engine.run_many([]) == []
+
+    def test_rejects_bad_batch_size(self, tiny_design, tiny_traces):
+        engine = TransientEngine(tiny_design.mna, tiny_traces[0].dt)
+        with pytest.raises(ValueError):
+            engine.run_many(tiny_traces[:2], batch_size=0)
+
+    def test_validates_every_trace_up_front(self, tiny_design, tiny_traces):
+        engine = TransientEngine(tiny_design.mna, tiny_traces[0].dt)
+        bad = CurrentTrace(np.ones((10, 3)), tiny_traces[0].dt)
+        with pytest.raises(ValueError):
+            engine.run_many([tiny_traces[0], bad])

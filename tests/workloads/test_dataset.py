@@ -102,3 +102,73 @@ class TestExpansionSplit:
         distances = np.linalg.norm(summaries[:, None, :] - summaries[None, :, :], axis=-1)
         off_diagonal = distances[~np.eye(len(split.train), dtype=bool)]
         assert off_diagonal.min() > 0
+
+
+class TestBatchedBuild:
+    def test_batched_matches_per_vector(self, tiny_design, tiny_traces, tiny_dataset):
+        batched = build_dataset(
+            tiny_design, tiny_traces, compression_rate=0.4, sim_batch_size=4
+        )
+        assert len(batched) == len(tiny_dataset)
+        for ours, theirs in zip(batched.samples, tiny_dataset.samples):
+            assert ours.name == theirs.name
+            np.testing.assert_allclose(ours.target, theirs.target, rtol=1e-12, atol=1e-16)
+            np.testing.assert_allclose(
+                ours.features.current_maps, theirs.features.current_maps,
+                rtol=1e-12, atol=1e-16,
+            )
+            np.testing.assert_array_equal(ours.hotspot_map, theirs.hotspot_map)
+
+    def test_batched_runtime_is_average(self, tiny_design, tiny_traces):
+        batched = build_dataset(
+            tiny_design, tiny_traces[:4], compression_rate=0.4, sim_batch_size=4
+        )
+        runtimes = {sample.sim_runtime for sample in batched.samples}
+        assert len(runtimes) == 1
+
+
+class TestMergeDatasets:
+    def test_merge_preserves_order(self, tiny_dataset):
+        from repro.workloads.dataset import merge_datasets
+
+        first = tiny_dataset.subset(range(0, 4))
+        second = tiny_dataset.subset(range(4, len(tiny_dataset)))
+        merged = merge_datasets([first, second])
+        assert len(merged) == len(tiny_dataset)
+        for ours, theirs in zip(merged.samples, tiny_dataset.samples):
+            assert ours is theirs
+
+    def test_merge_rejects_other_design(self, tiny_dataset):
+        from dataclasses import replace
+        from repro.workloads.dataset import merge_datasets
+
+        other = tiny_dataset.subset(range(2))
+        other.design_name = "not-the-same"
+        with pytest.raises(ValueError):
+            merge_datasets([tiny_dataset, other])
+
+    def test_merge_rejects_mismatched_distance(self, tiny_dataset):
+        from repro.workloads.dataset import merge_datasets
+
+        other = tiny_dataset.subset(range(2))
+        other.distance = other.distance + 1.0
+        with pytest.raises(ValueError):
+            merge_datasets([tiny_dataset, other])
+
+    def test_merge_requires_input(self):
+        from repro.workloads.dataset import merge_datasets
+
+        with pytest.raises(ValueError):
+            merge_datasets([])
+
+
+class TestUncompressedSave:
+    def test_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "plain.npz"
+        tiny_dataset.save(path, compress=False)
+        loaded = NoiseDataset.load(path)
+        assert len(loaded) == len(tiny_dataset)
+        np.testing.assert_array_equal(
+            loaded.samples[0].features.current_maps,
+            tiny_dataset.samples[0].features.current_maps,
+        )
