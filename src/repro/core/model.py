@@ -191,6 +191,14 @@ class WorstCaseNoiseNet(Module):
         that predict for a fixed design over and over can precompute
         ``reduced_distance`` (the :meth:`reduce_distance` output,
         ``(1, 1, m, n)``) and skip even that single reduction.
+
+        The pass is fully gradient-capable: every op on the path (including
+        the ragged length-bucketing gather and the distance broadcast) has a
+        registered adjoint, so the batched training engine pushes a whole
+        minibatch through this method as **one** autograd graph per step —
+        the same code serving runs under ``no_grad``.  Training must pass
+        ``distance`` (not a cached ``reduced_distance``) so gradients reach
+        the distance subnet's weights.
         """
         fused_currents = self.fuse_currents_batch(current_maps)  # (N, 3, m, n)
         batch, _, height, width = fused_currents.shape

@@ -1,4 +1,4 @@
-"""Training loop for the worst-case noise prediction model (Sec. 3.4.4).
+"""Training engine for the worst-case noise prediction model (Sec. 3.4.4).
 
 The trainer consumes a labelled :class:`~repro.workloads.dataset.NoiseDataset`
 plus a train/validation/test split (usually produced by the training-set
@@ -6,13 +6,32 @@ expansion strategy), fits the feature normaliser on the training partition,
 and optimises the model with Adam on the L1 loss of the normalised noise
 maps.  Early stopping tracks the validation loss and the best-epoch weights
 are restored at the end.
+
+Two engines share that contract:
+
+* **batched** (default) — the train and validation partitions are normalised
+  *once* into stacked ``(N, T, m, n)`` current tensors and ``(N, m, n)``
+  target stacks (per-sample arrays when stamp counts are ragged), and every
+  minibatch runs through :meth:`WorstCaseNoiseNet.forward_batch` as a single
+  autograd graph per step: one batched-GEMM convolution pass, one backward,
+  one fused optimiser step.  Graphs are built inside
+  :class:`~repro.nn.tensor.record_graph` so backpropagation replays the
+  creation-order tape instead of re-deriving the traversal order each step,
+  and validation runs through the same batched path under ``no_grad``.
+* **sequential** (``TrainingConfig.sequential=True``) — the original
+  per-sample loop, kept bit-exact with the pre-batched trainer as a
+  regression escape hatch.
+
+Both engines draw identical shuffle streams from the same seed, so their
+minibatch compositions match and the loss curves differ only by float
+re-association (see ``benchmarks/bench_training.py`` for the measured
+tolerance and speedup).
 """
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -20,14 +39,22 @@ from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import WorstCaseNoiseNet
 from repro.features.extraction import FeatureNormalizer, fit_normalizer
 from repro.nn import Adam, huber_loss, l1_loss, mse_loss, no_grad
+from repro.nn.tensor import record_graph
 from repro.pdn.designs import Design
 from repro.utils import Timer, get_logger
 from repro.utils.random import ensure_rng
 from repro.workloads.dataset import DatasetSplit, NoiseDataset, expansion_split
 
+__all__ = ["TrainingHistory", "TrainingResult", "NoiseModelTrainer"]
+
 _LOG = get_logger("core.training")
 
 _LOSSES = {"l1": l1_loss, "mse": mse_loss, "huber": huber_loss}
+
+#: A normalised partition's current maps: one dense ``(N, T, m, n)`` stack
+#: when every sample retains the same number of stamps, else one ``(T_i, m,
+#: n)`` array per sample (ragged Algorithm-1 compression).
+_PartitionInputs = Union[np.ndarray, List[np.ndarray]]
 
 
 @dataclass
@@ -71,7 +98,8 @@ class NoiseModelTrainer:
         Train/validation/test indices; computed with the expansion strategy
         when omitted.
     model_config / training_config:
-        Hyper-parameters.
+        Hyper-parameters.  ``training_config.sequential`` selects the
+        engine (batched by default, see the module docstring).
     """
 
     def __init__(
@@ -115,11 +143,37 @@ class NoiseModelTrainer:
             noise_scale=float(np.percentile(noise_stack, 99.0)) or 1.0,
         )
 
+    def _normalized_partition(
+        self, indices: np.ndarray
+    ) -> tuple[_PartitionInputs, np.ndarray]:
+        """Normalise one partition once, up front.
+
+        Returns the stacked normalised current maps (dense ``(N, T, m, n)``
+        when stamp counts are uniform, else a per-sample list) and the
+        ``(N, m, n)`` normalised target stack.  The batched engine pays this
+        cost once per training run instead of once per sample per epoch.
+        """
+        samples = [self.dataset.samples[int(index)] for index in indices]
+        if not samples:
+            empty = np.zeros((0,) + self.dataset.tile_shape)
+            return empty, empty
+        currents = [
+            self.normalizer.normalize_currents(sample.features.current_maps)
+            for sample in samples
+        ]
+        targets = np.stack(
+            [self.normalizer.normalize_noise(sample.target) for sample in samples]
+        )
+        if len({maps.shape[0] for maps in currents}) == 1:
+            return np.stack(currents), targets
+        return currents, targets
+
     # ------------------------------------------------------------------ #
-    # training
+    # loss evaluation
     # ------------------------------------------------------------------ #
 
     def _loss_function(self):
+        """The configured loss callable (l1 / mse / huber)."""
         return _LOSSES[self.training_config.loss]
 
     def _sample_loss(self, index: int, normalized_distance: np.ndarray):
@@ -131,7 +185,7 @@ class NoiseModelTrainer:
         return self._loss_function()(prediction, target)
 
     def _evaluate_loss(self, indices: np.ndarray, normalized_distance: np.ndarray) -> float:
-        """Mean loss over a partition without recording gradients."""
+        """Mean loss over a partition without recording gradients (per sample)."""
         if len(indices) == 0:
             return float("nan")
         total = 0.0
@@ -140,8 +194,121 @@ class NoiseModelTrainer:
                 total += self._sample_loss(int(index), normalized_distance).item()
         return total / len(indices)
 
+    def _evaluate_batched(
+        self,
+        inputs: _PartitionInputs,
+        targets: np.ndarray,
+        normalized_distance: np.ndarray,
+    ) -> float:
+        """Mean loss over a pre-normalised partition via the batched path."""
+        count = len(targets)
+        if count == 0:
+            return float("nan")
+        loss_function = self._loss_function()
+        # Inference holds no autograd buffers, so evaluation can run much
+        # wider minibatches than training without a memory downside.
+        batch_size = max(self.training_config.batch_size, 32)
+        total = 0.0
+        with no_grad():
+            # Weights are fixed during evaluation, so the distance subnet
+            # runs once for all minibatches.
+            reduced_distance = self.model.reduce_distance(normalized_distance)
+            for start in range(0, count, batch_size):
+                stop = min(start + batch_size, count)
+                prediction = self.model.forward_batch(
+                    inputs[start:stop], normalized_distance,
+                    reduced_distance=reduced_distance,
+                )
+                total += loss_function(prediction, targets[start:stop]).item() * (stop - start)
+        return total / count
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+
     def train(self) -> TrainingResult:
-        """Run the full training loop and return the best model."""
+        """Run the full training loop and return the best model.
+
+        Dispatches to the batched engine, or to the bit-exact sequential
+        per-sample loop when ``training_config.sequential`` is set.
+        """
+        if self.training_config.sequential:
+            return self._train_sequential()
+        return self._train_batched()
+
+    def _train_batched(self) -> TrainingResult:
+        """Batched engine: one autograd graph (and one fused step) per minibatch."""
+        config = self.training_config
+        rng = ensure_rng(config.seed)
+        optimizer = Adam(
+            self.model.parameters(),
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        loss_function = self._loss_function()
+        normalized_distance = self.normalizer.normalize_distance(self.dataset.distance)
+        train_inputs, train_targets = self._normalized_partition(self.split.train)
+        validation_inputs, validation_targets = self._normalized_partition(
+            self.split.validation
+        )
+        dense = isinstance(train_inputs, np.ndarray)
+        num_train = len(train_targets)
+
+        history = TrainingHistory()
+        best_state = self.model.state_dict()
+        epochs_without_improvement = 0
+        timer = Timer()
+
+        with timer.measure():
+            for epoch in range(config.epochs):
+                order = np.arange(num_train)
+                if config.shuffle:
+                    rng.shuffle(order)
+
+                epoch_loss = 0.0
+                for start in range(0, num_train, config.batch_size):
+                    rows = order[start:start + config.batch_size]
+                    batch_inputs = (
+                        train_inputs[rows]
+                        if dense
+                        else [train_inputs[int(row)] for row in rows]
+                    )
+                    optimizer.zero_grad()
+                    with record_graph():
+                        prediction = self.model.forward_batch(
+                            batch_inputs, normalized_distance
+                        )
+                        loss = loss_function(prediction, train_targets[rows])
+                        loss.backward()
+                    optimizer.step()
+                    epoch_loss += loss.item() * len(rows)
+                epoch_loss /= num_train
+
+                validation_loss = self._evaluate_batched(
+                    validation_inputs, validation_targets, normalized_distance
+                )
+                stop, best_state, epochs_without_improvement = self._note_epoch(
+                    history,
+                    epoch,
+                    epoch_loss,
+                    validation_loss,
+                    best_state,
+                    epochs_without_improvement,
+                )
+                if stop:
+                    break
+
+        self.model.load_state_dict(best_state)
+        history.wall_clock_seconds = timer.total
+        return TrainingResult(
+            model=self.model,
+            normalizer=self.normalizer,
+            history=history,
+            split=self.split,
+        )
+
+    def _train_sequential(self) -> TrainingResult:
+        """Sequential engine: the original per-sample loop (bit-exact escape hatch)."""
         config = self.training_config
         rng = ensure_rng(config.seed)
         optimizer = Adam(
@@ -175,28 +342,18 @@ class NoiseModelTrainer:
                     epoch_loss += batch_loss.item() * len(batch)
                 epoch_loss /= len(train_indices)
 
-                validation_loss = self._evaluate_loss(self.split.validation, normalized_distance)
-                history.train_loss.append(epoch_loss)
-                history.validation_loss.append(validation_loss)
-
-                monitored = validation_loss if np.isfinite(validation_loss) else epoch_loss
-                if monitored < history.best_validation_loss - config.early_stopping_min_delta:
-                    history.best_validation_loss = monitored
-                    history.best_epoch = epoch
-                    best_state = self.model.state_dict()
-                    epochs_without_improvement = 0
-                else:
-                    epochs_without_improvement += 1
-
-                if epoch % config.log_every == 0:
-                    _LOG.info(
-                        "epoch %d: train %.5f, val %.5f", epoch, epoch_loss, validation_loss
-                    )
-                if (
-                    config.early_stopping_patience is not None
-                    and epochs_without_improvement >= config.early_stopping_patience
-                ):
-                    _LOG.info("early stopping at epoch %d", epoch)
+                validation_loss = self._evaluate_loss(
+                    self.split.validation, normalized_distance
+                )
+                stop, best_state, epochs_without_improvement = self._note_epoch(
+                    history,
+                    epoch,
+                    epoch_loss,
+                    validation_loss,
+                    best_state,
+                    epochs_without_improvement,
+                )
+                if stop:
                     break
 
         self.model.load_state_dict(best_state)
@@ -207,3 +364,43 @@ class NoiseModelTrainer:
             history=history,
             split=self.split,
         )
+
+    def _note_epoch(
+        self,
+        history: TrainingHistory,
+        epoch: int,
+        epoch_loss: float,
+        validation_loss: float,
+        best_state: dict,
+        epochs_without_improvement: int,
+    ) -> tuple[bool, dict, int]:
+        """Record one epoch and apply early-stopping bookkeeping.
+
+        Shared verbatim by both engines so the sequential escape hatch keeps
+        the exact pre-batched control flow.  Returns ``(stop, best_state,
+        epochs_without_improvement)``.
+        """
+        config = self.training_config
+        history.train_loss.append(epoch_loss)
+        history.validation_loss.append(validation_loss)
+
+        monitored = validation_loss if np.isfinite(validation_loss) else epoch_loss
+        if monitored < history.best_validation_loss - config.early_stopping_min_delta:
+            history.best_validation_loss = monitored
+            history.best_epoch = epoch
+            best_state = self.model.state_dict()
+            epochs_without_improvement = 0
+        else:
+            epochs_without_improvement += 1
+
+        if epoch % config.log_every == 0:
+            _LOG.info(
+                "epoch %d: train %.5f, val %.5f", epoch, epoch_loss, validation_loss
+            )
+        stop = (
+            config.early_stopping_patience is not None
+            and epochs_without_improvement >= config.early_stopping_patience
+        )
+        if stop:
+            _LOG.info("early stopping at epoch %d", epoch)
+        return stop, best_state, epochs_without_improvement

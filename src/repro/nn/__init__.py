@@ -1,13 +1,17 @@
 """A compact numpy-only deep-learning library.
 
 PyTorch (the paper's framework) is unavailable offline, so this subpackage
-provides the pieces the paper's model needs: an autograd tensor, Conv2d /
-ConvTranspose2d with replication or zero padding, ReLU, L1/MSE/Huber losses,
-SGD/Adam optimisers, batching helpers and checkpointing.  Every operator's
+provides the pieces the paper's model needs: an autograd tensor (with
+tape-recorded graphs for hot training loops), Conv2d / ConvTranspose2d with
+replication or zero padding and pooled im2col workspaces, ReLU, L1/MSE/Huber
+losses, fused SGD/Adam optimisers and checkpointing.  Every operator's
 gradient is validated against numerical differentiation in the test suite.
+(Minibatch shuffling lives in the training engine itself —
+:mod:`repro.core.training` — which batches whole minibatches through one
+autograd graph per step.)
 """
 
-from repro.nn.tensor import Tensor, as_tensor, cat, stack, no_grad
+from repro.nn.tensor import Tensor, as_tensor, cat, stack, no_grad, record_graph
 from repro.nn.conv import (
     PADDING_MODES,
     conv2d,
@@ -29,7 +33,6 @@ from repro.nn.modules import (
 )
 from repro.nn.losses import huber_loss, l1_loss, mse_loss
 from repro.nn.optim import SGD, Adam, Optimizer
-from repro.nn.data import ArrayDataset, BatchIterator
 from repro.nn.serialization import load_checkpoint, load_extras, save_checkpoint
 from repro.nn import init
 
@@ -39,6 +42,7 @@ __all__ = [
     "cat",
     "stack",
     "no_grad",
+    "record_graph",
     "PADDING_MODES",
     "conv2d",
     "conv_transpose2d",
@@ -60,8 +64,6 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
-    "ArrayDataset",
-    "BatchIterator",
     "load_checkpoint",
     "load_extras",
     "save_checkpoint",

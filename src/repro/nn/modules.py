@@ -72,7 +72,12 @@ class Module:
         return sum(parameter.size for parameter in self.parameters())
 
     def zero_grad(self) -> None:
-        """Clear gradients of every parameter."""
+        """Drop gradients of every parameter (sets them to ``None``).
+
+        The next backward pass then *writes* each parameter's first gradient
+        contribution instead of accumulating into zero-filled arrays — no
+        per-step allocation churn (see :meth:`repro.nn.Optimizer.zero_grad`).
+        """
         for parameter in self.parameters():
             parameter.zero_grad()
 

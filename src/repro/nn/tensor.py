@@ -46,11 +46,16 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Context:
     """Per-call scratch space a :class:`Function` uses to stash forward data."""
 
-    __slots__ = ("saved", "attrs")
+    __slots__ = ("saved", "attrs", "needs_input_grad")
 
     def __init__(self) -> None:
         self.saved: tuple = ()
         self.attrs: dict = {}
+        #: One flag per positional input: whether a gradient will ever reach
+        #: it (set by :meth:`Function.apply`).  Expensive backward rules can
+        #: skip computing adjoints nobody consumes — e.g. the col2im fold for
+        #: a first-layer convolution whose input is the minibatch itself.
+        self.needs_input_grad: tuple = ()
 
     def save(self, *arrays) -> None:
         """Save arrays (or any values) needed by the backward pass."""
@@ -85,6 +90,12 @@ class Function:
             output._parents = tuple(tensors)
             output._function = cls
             output._ctx = ctx
+            ctx.needs_input_grad = tuple(
+                tensor.requires_grad or tensor._function is not None for tensor in tensors
+            )
+            tape = getattr(_GRAD_STATE, "tape", None)
+            if tape is not None:
+                tape.append(output)
         return output
 
 
@@ -109,6 +120,53 @@ class no_grad:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         _GRAD_STATE.enabled = self._previous
+
+
+class record_graph:
+    """Context manager recording created nodes on a tape (per thread).
+
+    Inside the context every recorded :class:`Function` output is appended to
+    a tape in creation order.  Creation order is a topological order of the
+    graph, so a ``backward()`` call on the tape's last node can walk the tape
+    in reverse instead of re-deriving the order with a depth-first search —
+    the training loop builds an identically-shaped graph every step, and the
+    tape makes its traversal order a straight list replay.  Contexts nest;
+    each re-entry starts a fresh tape and restores the previous one on exit.
+    """
+
+    def __enter__(self) -> "record_graph":
+        self._previous = getattr(_GRAD_STATE, "tape", None)
+        _GRAD_STATE.tape = []
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _GRAD_STATE.tape = self._previous
+
+
+def _topological_order(roots: Sequence["Tensor"]) -> list["Tensor"]:
+    """Nodes reachable from ``roots`` in reverse topological order.
+
+    A multi-root depth-first search; reversing its post-order yields an
+    order where every node precedes all of its parents, which is what the
+    backward accumulation loop consumes.
+    """
+    visited: set[int] = set()
+    order: list[Tensor] = []
+
+    stack: list[tuple[Tensor, bool]] = [(root, False) for root in reversed(roots)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return list(reversed(order))
 
 
 class Tensor:
@@ -173,6 +231,11 @@ class Tensor:
         """Backpropagate from this tensor through the recorded graph.
 
         ``grad`` defaults to 1 for scalar tensors (the usual loss case).
+        When the graph was built inside a :class:`record_graph` context and
+        this tensor is the tape's newest node (a training-loop loss always
+        is), the tape's creation order is replayed in reverse instead of
+        running the depth-first topological sort — same gradients, none of
+        the per-step graph-walk overhead.
         """
         if grad is None:
             if self.data.size != 1:
@@ -182,45 +245,67 @@ class Tensor:
         if grad.shape != self.data.shape:
             raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
 
-        order = self._topological_order()
         gradients: dict[int, np.ndarray] = {id(self): grad}
-        for node in order:
-            node_grad = gradients.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and node._function is None:
-                # Leaf tensor: accumulate.
-                node.grad = node_grad if node.grad is None else node.grad + node_grad
-            if node._function is None:
-                continue
-            input_grads = node._function.backward(node._ctx, node_grad)
-            if not isinstance(input_grads, tuple):
-                input_grads = (input_grads,)
-            for parent, parent_grad in zip(node._parents, input_grads):
-                if parent_grad is None or not (parent.requires_grad or parent._function is not None):
+        # Interior nodes a gradient has been queued for, so pending work can
+        # be recovered if the tape replay does not visit them.
+        pending: dict[int, Tensor] = {}
+        # Buffers allocated *by this accumulation loop* may be added into in
+        # place; the first gradient reaching a node is adopted as-is (it can
+        # alias a Function's scratch space, so it must not be mutated).
+        owned: set[int] = set()
+
+        def _accumulate_leaf(leaf: "Tensor", leaf_grad: np.ndarray) -> None:
+            leaf.grad = leaf_grad if leaf.grad is None else leaf.grad + leaf_grad
+
+        def _propagate(order: Iterable["Tensor"]) -> None:
+            for node in order:
+                node_grad = gradients.pop(id(node), None)
+                if node_grad is None:
                     continue
-                existing = gradients.get(id(parent))
-                gradients[id(parent)] = parent_grad if existing is None else existing + parent_grad
+                pending.pop(id(node), None)
+                if node._function is None:
+                    if node.requires_grad:
+                        _accumulate_leaf(node, node_grad)
+                    continue
+                input_grads = node._function.backward(node._ctx, node_grad)
+                if not isinstance(input_grads, tuple):
+                    input_grads = (input_grads,)
+                for parent, parent_grad in zip(node._parents, input_grads):
+                    if parent_grad is None:
+                        continue
+                    if parent._function is None:
+                        # Leaf tensor: accumulate straight into .grad so the
+                        # tape replay (which only visits interior nodes) sees
+                        # it too.
+                        if parent.requires_grad:
+                            _accumulate_leaf(parent, parent_grad)
+                        continue
+                    key = id(parent)
+                    existing = gradients.get(key)
+                    if existing is None:
+                        gradients[key] = parent_grad
+                        pending[key] = parent
+                    elif key in owned:
+                        existing += parent_grad
+                    else:
+                        gradients[key] = existing + parent_grad
+                        owned.add(key)
+
+        tape = getattr(_GRAD_STATE, "tape", None)
+        if tape is not None and tape and tape[-1] is self:
+            _propagate(reversed(tape))
+            if gradients:
+                # Interior nodes built *before* the recording context opened
+                # (e.g. a cached subgraph reused inside it) never appear on
+                # the tape; finish them with a depth-first order rooted at
+                # every node still holding a queued gradient.
+                _propagate(_topological_order(list(pending.values())))
+        else:
+            _propagate(self._topological_order())
 
     def _topological_order(self) -> list["Tensor"]:
         """Nodes reachable from ``self`` in reverse topological order."""
-        visited: set[int] = set()
-        order: list[Tensor] = []
-
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-        return list(reversed(order))
+        return _topological_order([self])
 
     # ------------------------------------------------------------------ #
     # arithmetic operators (implemented by Functions defined below)

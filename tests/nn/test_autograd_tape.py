@@ -1,0 +1,128 @@
+"""Tests for tape-recorded autograd graphs (repro.nn.tensor.record_graph)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, ReLU, Sequential, Tensor, record_graph
+from repro.nn.conv import Conv2dFunction
+from repro.nn.tensor import _GRAD_STATE
+
+
+def _loss(network, inputs):
+    return network(Tensor(inputs)).abs().mean()
+
+
+def _grads(network):
+    return [parameter.grad.copy() for parameter in network.parameters()]
+
+
+@pytest.fixture()
+def network():
+    return Sequential(
+        Conv2d(1, 4, kernel_size=3, seed=0), ReLU(), Conv2d(4, 1, kernel_size=3, seed=1)
+    )
+
+
+class TestRecordGraph:
+    def test_tape_backward_matches_dfs_backward_exactly(self, network, rng):
+        inputs = rng.random((4, 1, 6, 6))
+        _loss(network, inputs).backward()
+        dfs_grads = _grads(network)
+
+        network.zero_grad()
+        with record_graph():
+            _loss(network, inputs).backward()
+        tape_grads = _grads(network)
+
+        for tape_grad, dfs_grad in zip(tape_grads, dfs_grads):
+            np.testing.assert_array_equal(tape_grad, dfs_grad)
+
+    def test_backward_on_non_final_node_falls_back_to_dfs(self, network, rng):
+        inputs = rng.random((2, 1, 6, 6))
+        _loss(network, inputs).backward()
+        expected = _grads(network)
+
+        network.zero_grad()
+        with record_graph():
+            loss = _loss(network, inputs)
+            _ = loss * 2.0  # the tape's newest node is no longer the loss
+            loss.backward()
+        for actual_grad, expected_grad in zip(_grads(network), expected):
+            np.testing.assert_array_equal(actual_grad, expected_grad)
+
+    def test_subgraph_built_outside_tape_still_receives_gradients(self, network, rng):
+        # A cached intermediate created before the recording context opened
+        # is not on the tape; backward must still reach the weights behind
+        # it (finished with a DFS over the out-of-tape remainder).
+        prefix = Conv2d(1, 1, kernel_size=3, seed=2)
+        inputs = rng.random((2, 1, 6, 6))
+
+        cached = prefix(Tensor(inputs))
+        network(cached).abs().mean().backward()
+        expected = _grads(network) + _grads(prefix)
+
+        network.zero_grad()
+        prefix.zero_grad()
+        cached = prefix(Tensor(inputs))  # built OUTSIDE the tape
+        with record_graph():
+            network(cached).abs().mean().backward()
+        for actual_grad, expected_grad in zip(_grads(network) + _grads(prefix), expected):
+            np.testing.assert_allclose(actual_grad, expected_grad, rtol=1e-12, atol=0)
+
+    def test_contexts_nest_and_restore(self):
+        assert getattr(_GRAD_STATE, "tape", None) is None
+        with record_graph():
+            outer = _GRAD_STATE.tape
+            Tensor(np.ones(2), requires_grad=True) * 2.0
+            assert len(outer) == 1
+            with record_graph():
+                assert _GRAD_STATE.tape == []
+            assert _GRAD_STATE.tape is outer
+        assert _GRAD_STATE.tape is None
+
+    def test_tape_not_recorded_outside_context(self):
+        Tensor(np.ones(2), requires_grad=True) * 2.0
+        assert getattr(_GRAD_STATE, "tape", None) is None
+
+
+class TestNeedsInputGrad:
+    def test_non_grad_input_gets_no_gradient_but_weights_do(self, network, rng):
+        inputs = rng.random((2, 1, 6, 6))
+        tensor = Tensor(inputs)  # requires_grad=False
+        network(tensor).abs().mean().backward()
+        assert tensor.grad is None
+        for parameter in network.parameters():
+            assert parameter.grad is not None
+
+    def test_weight_grads_identical_with_and_without_input_grad(self, network, rng):
+        inputs = rng.random((2, 1, 6, 6))
+        _loss(network, inputs).backward()
+        without_input = _grads(network)
+
+        network.zero_grad()
+        tensor = Tensor(inputs.copy(), requires_grad=True)
+        network(tensor).abs().mean().backward()
+        assert tensor.grad is not None
+        for actual_grad, expected_grad in zip(_grads(network), without_input):
+            np.testing.assert_array_equal(actual_grad, expected_grad)
+
+
+class TestWorkspaceRecycling:
+    def test_second_backward_through_conv_raises(self, network, rng):
+        loss = _loss(network, rng.random((2, 1, 6, 6)))
+        loss.backward()
+        with pytest.raises(RuntimeError, match="workspace"):
+            loss.backward()
+
+    def test_repeated_steps_reuse_workspaces_and_stay_finite(self, network, rng):
+        inputs = rng.random((2, 1, 6, 6))
+        reference = None
+        for _ in range(4):
+            network.zero_grad()
+            with record_graph():
+                _loss(network, inputs).backward()
+            grads = _grads(network)
+            if reference is None:
+                reference = grads
+            for grad, expected in zip(grads, reference):
+                np.testing.assert_array_equal(grad, expected)

@@ -106,3 +106,134 @@ class TestAdam:
             loss.backward()
             optimizer.step()
         np.testing.assert_allclose(layer.weight.data, true_weight, atol=0.05)
+
+
+def _make_params(seed: int) -> list[Parameter]:
+    rng = np.random.default_rng(seed)
+    shapes = [(4, 3, 3, 3), (4,), (8, 4, 3, 3), (8,), (1, 8)]
+    return [Parameter(rng.standard_normal(shape)) for shape in shapes]
+
+
+def _reference_adam_step(state: dict, parameters, learning_rate, betas=(0.9, 0.999),
+                         epsilon=1e-8, weight_decay=0.0) -> None:
+    """One per-parameter Adam step exactly as the pre-fused implementation."""
+    state.setdefault("m", [np.zeros_like(p.data) for p in parameters])
+    state.setdefault("v", [np.zeros_like(p.data) for p in parameters])
+    state["t"] = state.get("t", 0) + 1
+    beta1, beta2 = betas
+    bias_correction1 = 1.0 - beta1 ** state["t"]
+    bias_correction2 = 1.0 - beta2 ** state["t"]
+    for parameter, first, second in zip(parameters, state["m"], state["v"]):
+        if parameter.grad is None:
+            continue
+        gradient = parameter.grad
+        if weight_decay:
+            gradient = gradient + weight_decay * parameter.data
+        first *= beta1
+        first += (1.0 - beta1) * gradient
+        second *= beta2
+        second += (1.0 - beta2) * gradient * gradient
+        corrected_first = first / bias_correction1
+        corrected_second = second / bias_correction2
+        parameter.data = parameter.data - learning_rate * corrected_first / (
+            np.sqrt(corrected_second) + epsilon
+        )
+
+
+def _reference_sgd_step(state: dict, parameters, learning_rate, momentum=0.0,
+                        weight_decay=0.0) -> None:
+    """One per-parameter SGD step exactly as the pre-fused implementation."""
+    state.setdefault("v", [np.zeros_like(p.data) for p in parameters])
+    for parameter, velocity in zip(parameters, state["v"]):
+        if parameter.grad is None:
+            continue
+        gradient = parameter.grad
+        if weight_decay:
+            gradient = gradient + weight_decay * parameter.data
+        velocity *= momentum
+        velocity += gradient
+        parameter.data = parameter.data - learning_rate * velocity
+
+
+class TestFusedSteps:
+    """The fused flat-buffer steps must be bit-exact with the reference loops."""
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_fused_adam_bit_exact(self, weight_decay):
+        fused_params = _make_params(seed=1)
+        reference_params = _make_params(seed=1)
+        optimizer = Adam(fused_params, learning_rate=1e-3, weight_decay=weight_decay)
+        state: dict = {}
+        grad_rng = np.random.default_rng(2)
+        for _ in range(20):
+            for fused, reference in zip(fused_params, reference_params):
+                gradient = grad_rng.standard_normal(fused.data.shape)
+                fused.grad = gradient.copy()
+                reference.grad = gradient.copy()
+            optimizer.step()
+            _reference_adam_step(
+                state, reference_params, learning_rate=1e-3, weight_decay=weight_decay
+            )
+        for fused, reference in zip(fused_params, reference_params):
+            np.testing.assert_array_equal(fused.data, reference.data)
+
+    @pytest.mark.parametrize("momentum,weight_decay", [(0.0, 0.0), (0.9, 0.01)])
+    def test_fused_sgd_bit_exact(self, momentum, weight_decay):
+        fused_params = _make_params(seed=3)
+        reference_params = _make_params(seed=3)
+        optimizer = SGD(
+            fused_params, learning_rate=1e-2, momentum=momentum, weight_decay=weight_decay
+        )
+        state: dict = {}
+        grad_rng = np.random.default_rng(4)
+        for _ in range(20):
+            for fused, reference in zip(fused_params, reference_params):
+                gradient = grad_rng.standard_normal(fused.data.shape)
+                fused.grad = gradient.copy()
+                reference.grad = gradient.copy()
+            optimizer.step()
+            _reference_sgd_step(
+                state, reference_params, learning_rate=1e-2,
+                momentum=momentum, weight_decay=weight_decay,
+            )
+        for fused, reference in zip(fused_params, reference_params):
+            np.testing.assert_array_equal(fused.data, reference.data)
+
+    def test_missing_grad_falls_back_and_preserves_skip_semantics(self):
+        fused_params = _make_params(seed=5)
+        reference_params = _make_params(seed=5)
+        optimizer = Adam(fused_params, learning_rate=1e-2)
+        state: dict = {}
+        grad_rng = np.random.default_rng(6)
+        for step in range(6):
+            for index, (fused, reference) in enumerate(zip(fused_params, reference_params)):
+                if step % 2 == 0 and index == 2:
+                    fused.grad = None
+                    reference.grad = None
+                    continue
+                gradient = grad_rng.standard_normal(fused.data.shape)
+                fused.grad = gradient.copy()
+                reference.grad = gradient.copy()
+            optimizer.step()
+            _reference_adam_step(state, reference_params, learning_rate=1e-2)
+        for fused, reference in zip(fused_params, reference_params):
+            np.testing.assert_array_equal(fused.data, reference.data)
+
+    def test_fused_moments_and_fallback_share_state(self):
+        # A fused step followed by a skip-step must see the fused step's
+        # moments through the per-parameter views (and vice versa).
+        parameter = Parameter(np.array([1.0, -2.0]))
+        other = Parameter(np.array([0.5]))
+        optimizer = Adam([parameter, other], learning_rate=1e-2)
+        parameter.grad = np.array([0.1, 0.2])
+        other.grad = np.array([0.3])
+        optimizer.step()  # fused
+        first_after_fused = optimizer._first_moment[0].copy()
+        assert np.any(first_after_fused != 0.0)
+        parameter.grad = np.array([0.1, 0.2])
+        other.grad = None
+        optimizer.step()  # fallback (views over the same flat buffers)
+        assert np.any(optimizer._first_moment[0] != first_after_fused)
+        np.testing.assert_array_equal(
+            optimizer._second_moment[1], optimizer._second_moment_flat[-1:]
+        )
