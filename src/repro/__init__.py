@@ -48,6 +48,13 @@ from repro.datagen import (
     load_design_dataset,
     paper_corpus_spec,
 )
+from repro.eval import (
+    BaselineStore,
+    CrossDesignEvaluator,
+    EvalConfig,
+    MultiDesignTrainer,
+    ScenarioSweep,
+)
 
 __version__ = "0.1.0"
 
@@ -86,5 +93,10 @@ __all__ = [
     "load_corpus",
     "load_design_dataset",
     "paper_corpus_spec",
+    "BaselineStore",
+    "CrossDesignEvaluator",
+    "EvalConfig",
+    "MultiDesignTrainer",
+    "ScenarioSweep",
     "__version__",
 ]

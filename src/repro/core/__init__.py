@@ -18,6 +18,7 @@ from repro.core.metrics import (
     absolute_error,
     evaluate_predictions,
     hotspot_missing_rate,
+    hotspot_precision_recall,
     relative_error,
     roc_auc,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "absolute_error",
     "relative_error",
     "hotspot_missing_rate",
+    "hotspot_precision_recall",
     "roc_auc",
     "evaluate_predictions",
     "NoiseModelTrainer",

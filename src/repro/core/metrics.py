@@ -62,6 +62,45 @@ def hotspot_missing_rate(
     return missed / total_hot
 
 
+def hotspot_precision_recall(
+    predicted: np.ndarray, truth: np.ndarray, threshold: float
+) -> tuple[float, float]:
+    """Precision and recall of hotspot classification at ``threshold``.
+
+    A tile is a hotspot when its worst-case noise exceeds ``threshold``.
+    Precision is the fraction of *predicted* hotspot tiles that are real;
+    recall is the fraction of *true* hotspot tiles the prediction flags
+    (``1 - hotspot_missing_rate``).  Degenerate cases follow the usual
+    conventions: precision is 1.0 when nothing is predicted hot, recall is
+    1.0 when the ground truth has no hotspots — an empty claim is never
+    wrong.
+
+    Parameters
+    ----------
+    predicted / truth:
+        Noise maps (any matching shapes) in volts.
+    threshold:
+        Absolute hotspot threshold in volts.
+
+    Returns
+    -------
+    The ``(precision, recall)`` pair, both in ``[0, 1]``.
+    """
+    check_positive(threshold, "threshold")
+    predicted = np.asarray(predicted, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if predicted.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {truth.shape}")
+    predicted_hot = predicted > threshold
+    truth_hot = truth > threshold
+    true_positive = int(np.count_nonzero(predicted_hot & truth_hot))
+    claimed = int(np.count_nonzero(predicted_hot))
+    actual = int(np.count_nonzero(truth_hot))
+    precision = true_positive / claimed if claimed else 1.0
+    recall = true_positive / actual if actual else 1.0
+    return precision, recall
+
+
 def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
     """Area under the ROC curve via the rank statistic (Mann-Whitney U).
 

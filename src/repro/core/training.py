@@ -49,7 +49,9 @@ __all__ = ["TrainingHistory", "TrainingResult", "NoiseModelTrainer"]
 
 _LOG = get_logger("core.training")
 
-_LOSSES = {"l1": l1_loss, "mse": mse_loss, "huber": huber_loss}
+#: Loss name -> callable table shared by every training engine (including the
+#: pooled cross-design trainer in :mod:`repro.eval`).
+LOSS_FUNCTIONS = {"l1": l1_loss, "mse": mse_loss, "huber": huber_loss}
 
 #: A normalised partition's current maps: one dense ``(N, T, m, n)`` stack
 #: when every sample retains the same number of stamps, else one ``(T_i, m,
@@ -174,7 +176,7 @@ class NoiseModelTrainer:
 
     def _loss_function(self):
         """The configured loss callable (l1 / mse / huber)."""
-        return _LOSSES[self.training_config.loss]
+        return LOSS_FUNCTIONS[self.training_config.loss]
 
     def _sample_loss(self, index: int, normalized_distance: np.ndarray):
         """Forward pass plus loss for one sample (returns the loss tensor)."""
@@ -376,31 +378,66 @@ class NoiseModelTrainer:
     ) -> tuple[bool, dict, int]:
         """Record one epoch and apply early-stopping bookkeeping.
 
-        Shared verbatim by both engines so the sequential escape hatch keeps
-        the exact pre-batched control flow.  Returns ``(stop, best_state,
+        Shared verbatim by both engines (and, through :func:`note_epoch`, by
+        the pooled cross-design trainer) so every engine keeps the exact
+        pre-batched control flow.  Returns ``(stop, best_state,
         epochs_without_improvement)``.
         """
-        config = self.training_config
-        history.train_loss.append(epoch_loss)
-        history.validation_loss.append(validation_loss)
-
-        monitored = validation_loss if np.isfinite(validation_loss) else epoch_loss
-        if monitored < history.best_validation_loss - config.early_stopping_min_delta:
-            history.best_validation_loss = monitored
-            history.best_epoch = epoch
-            best_state = self.model.state_dict()
-            epochs_without_improvement = 0
-        else:
-            epochs_without_improvement += 1
-
-        if epoch % config.log_every == 0:
-            _LOG.info(
-                "epoch %d: train %.5f, val %.5f", epoch, epoch_loss, validation_loss
-            )
-        stop = (
-            config.early_stopping_patience is not None
-            and epochs_without_improvement >= config.early_stopping_patience
+        return note_epoch(
+            self.model,
+            self.training_config,
+            history,
+            epoch,
+            epoch_loss,
+            validation_loss,
+            best_state,
+            epochs_without_improvement,
         )
-        if stop:
-            _LOG.info("early stopping at epoch %d", epoch)
-        return stop, best_state, epochs_without_improvement
+
+
+def note_epoch(
+    model: WorstCaseNoiseNet,
+    config: TrainingConfig,
+    history: TrainingHistory,
+    epoch: int,
+    epoch_loss: float,
+    validation_loss: float,
+    best_state: dict,
+    epochs_without_improvement: int,
+) -> tuple[bool, dict, int]:
+    """One epoch of loss-curve recording and early-stopping bookkeeping.
+
+    The single implementation behind every training engine in the repository
+    (batched, sequential, and the pooled cross-design trainer of
+    :mod:`repro.eval.training`): appends the losses to ``history``, bookmarks
+    the best validation epoch (snapshotting ``model.state_dict()``), and
+    applies the patience rule.
+
+    Returns
+    -------
+    ``(stop, best_state, epochs_without_improvement)`` — ``stop`` is ``True``
+    when the patience budget is exhausted.
+    """
+    history.train_loss.append(epoch_loss)
+    history.validation_loss.append(validation_loss)
+
+    monitored = validation_loss if np.isfinite(validation_loss) else epoch_loss
+    if monitored < history.best_validation_loss - config.early_stopping_min_delta:
+        history.best_validation_loss = monitored
+        history.best_epoch = epoch
+        best_state = model.state_dict()
+        epochs_without_improvement = 0
+    else:
+        epochs_without_improvement += 1
+
+    if epoch % config.log_every == 0:
+        _LOG.info(
+            "epoch %d: train %.5f, val %.5f", epoch, epoch_loss, validation_loss
+        )
+    stop = (
+        config.early_stopping_patience is not None
+        and epochs_without_improvement >= config.early_stopping_patience
+    )
+    if stop:
+        _LOG.info("early stopping at epoch %d", epoch)
+    return stop, best_state, epochs_without_improvement

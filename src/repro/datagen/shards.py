@@ -162,8 +162,14 @@ class ShardRecord:
         return cls(**payload)
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write a text file atomically (temp file in-directory + replace)."""
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write a text file atomically (temp file in-directory + replace).
+
+    The write convention every resumable artefact in the repository follows
+    (corpus manifests, evaluation reports, sweep manifests, baselines): a
+    reader can never observe a torn file, and a killed writer leaves only a
+    stray ``*.tmp-<pid>`` behind.
+    """
     temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     temporary.write_text(text)
     os.replace(temporary, path)
@@ -241,7 +247,7 @@ class CorpusManifest:
 
     def save(self, path: Union[str, Path]) -> None:
         """Persist the manifest atomically as pretty-printed JSON."""
-        _atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=2, sort_keys=True))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CorpusManifest":

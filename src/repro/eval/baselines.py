@@ -1,0 +1,307 @@
+"""Golden accuracy baselines and the drift gate.
+
+A *baseline* locks in the gated accuracy metrics of one evaluation campaign
+(per held-out design: MAE columns, hotspot precision/recall, AUC — never
+wall-clock quantities) together with per-metric tolerances.  CI re-runs the
+campaign and fails when any metric drifts beyond its tolerance, which turns
+the reproduction itself into a regression test: a perf refactor that silently
+degrades accuracy cannot merge.
+
+Baseline files live under ``eval/baselines/<name>.json`` and carry two
+hashes: the campaign ``config_hash`` (a baseline only gates the campaign it
+was measured on) and a ``content_hash`` over the canonical metrics payload
+(so a hand-edited or corrupted baseline is rejected instead of silently
+gating against garbage).  Refreshing a baseline is an explicit act:
+``python scripts/run_eval.py --budget <name> --update-baseline``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.datagen.shards import atomic_write_text
+from repro.utils import get_logger
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "Baseline",
+    "BaselineStore",
+    "DriftReport",
+    "MetricDrift",
+    "metrics_content_hash",
+]
+
+_LOG = get_logger("eval.baselines")
+
+#: Baseline file schema version.
+BASELINE_VERSION = 1
+
+#: Default per-metric tolerances: ``value`` passes when
+#: ``|value - baseline| <= atol + rtol * |baseline|``.  Error columns get a
+#: relative band plus a small absolute floor (in their own unit — mV for AE
+#: columns, percentage points for RE); classification metrics are fractions
+#: in [0, 1] and use absolute bands.
+DEFAULT_TOLERANCES: dict[str, dict[str, float]] = {
+    "mean_ae_mv": {"rtol": 0.10, "atol": 0.05},
+    "p99_ae_mv": {"rtol": 0.10, "atol": 0.10},
+    "max_ae_mv": {"rtol": 0.15, "atol": 0.20},
+    "mean_re_percent": {"rtol": 0.10, "atol": 0.25},
+    "hotspot_precision": {"rtol": 0.0, "atol": 0.05},
+    "hotspot_recall": {"rtol": 0.0, "atol": 0.05},
+    "hotspot_missing_rate": {"rtol": 0.0, "atol": 0.05},
+    "auc": {"rtol": 0.0, "atol": 0.02},
+}
+
+
+def metrics_content_hash(metrics: Mapping[str, Mapping[str, float]]) -> str:
+    """Canonical SHA-256 of a per-design metrics mapping.
+
+    The payload is serialised with sorted keys and full float repr, so the
+    hash is stable across processes and platforms that produce the same
+    numbers.
+    """
+    canonical = json.dumps(
+        {label: dict(values) for label, values in metrics.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric that moved beyond its tolerance."""
+
+    heldout: str
+    metric: str
+    baseline: float
+    observed: float
+    allowed: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.heldout}/{self.metric}: baseline {self.baseline:.6g}, "
+            f"observed {self.observed:.6g} (|delta| {abs(self.observed - self.baseline):.6g} "
+            f"> allowed {self.allowed:.6g})"
+        )
+
+
+@dataclass
+class DriftReport:
+    """Outcome of comparing a fresh campaign against a golden baseline."""
+
+    baseline_name: str
+    drifts: list[MetricDrift] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """Whether every baselined metric stayed within tolerance."""
+        return not self.drifts and not self.missing
+
+    def summary(self) -> str:
+        """Human-readable verdict for logs and CI output."""
+        if self.passed:
+            return (
+                f"baseline {self.baseline_name!r}: {self.compared} metrics "
+                "within tolerance"
+            )
+        lines = [
+            f"baseline {self.baseline_name!r}: {len(self.drifts)} metric(s) drifted, "
+            f"{len(self.missing)} design(s) missing"
+        ]
+        lines.extend(f"  DRIFT {drift}" for drift in self.drifts)
+        lines.extend(f"  MISSING heldout design {label}" for label in self.missing)
+        return "\n".join(lines)
+
+
+@dataclass
+class Baseline:
+    """One golden baseline, as stored on disk."""
+
+    name: str
+    config_hash: str
+    metrics: dict[str, dict[str, float]]
+    tolerances: dict[str, dict[str, float]]
+    git_rev: str = "unknown"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (including the content hash)."""
+        return {
+            "version": BASELINE_VERSION,
+            "name": self.name,
+            "config_hash": self.config_hash,
+            "git_rev": self.git_rev,
+            "content_hash": metrics_content_hash(self.metrics),
+            "metrics": self.metrics,
+            "tolerances": self.tolerances,
+        }
+
+
+class BaselineStore:
+    """Loads, saves and compares golden baselines in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Baseline directory (conventionally ``eval/baselines`` at the repo
+        root; created on demand when saving).
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    def path(self, name: str) -> Path:
+        """On-disk location of one baseline."""
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid baseline name {name!r}")
+        return self.directory / f"{name}.json"
+
+    def exists(self, name: str) -> bool:
+        """Whether a baseline with this name is stored."""
+        return self.path(name).exists()
+
+    def save(
+        self,
+        name: str,
+        metrics: Mapping[str, Mapping[str, float]],
+        config_hash: str,
+        tolerances: Optional[Mapping[str, Mapping[str, float]]] = None,
+        git_rev: str = "unknown",
+    ) -> Path:
+        """Write (or refresh) a baseline atomically and return its path.
+
+        Parameters
+        ----------
+        name:
+            Baseline name (conventionally the budget name).
+        metrics:
+            Per-held-out-design gated metrics
+            (:meth:`~repro.eval.protocol.CrossDesignReport.gated_metrics`).
+        config_hash:
+            The campaign's :meth:`~repro.eval.config.EvalConfig.config_hash`.
+        tolerances:
+            Per-metric ``{"rtol": ..., "atol": ...}`` bands; defaults to
+            :data:`DEFAULT_TOLERANCES`.
+        git_rev:
+            Provenance stamp of the generating code.
+        """
+        baseline = Baseline(
+            name=name,
+            config_hash=config_hash,
+            metrics={label: dict(values) for label, values in metrics.items()},
+            tolerances={
+                metric: dict(band)
+                for metric, band in (tolerances or DEFAULT_TOLERANCES).items()
+            },
+            git_rev=git_rev,
+        )
+        path = self.path(name)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(baseline.to_dict(), indent=2, sort_keys=True))
+        _LOG.info("saved baseline %s (%d designs)", path, len(baseline.metrics))
+        return path
+
+    def load(self, name: str) -> Baseline:
+        """Load and integrity-check one baseline.
+
+        Raises
+        ------
+        FileNotFoundError
+            When no baseline with this name exists.
+        ValueError
+            On an unknown schema version or a content-hash mismatch (the
+            file was edited or corrupted after it was written).
+        """
+        path = self.path(name)
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no baseline {name!r} under {self.directory}; create one with "
+                f"run_eval.py --update-baseline"
+            )
+        payload = json.loads(path.read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} in {path}"
+            )
+        metrics = {
+            label: {metric: float(value) for metric, value in values.items()}
+            for label, values in payload["metrics"].items()
+        }
+        stored_hash = payload.get("content_hash", "")
+        actual_hash = metrics_content_hash(metrics)
+        if stored_hash != actual_hash:
+            raise ValueError(
+                f"baseline {path} failed its integrity check "
+                f"(stored hash {stored_hash[:12]}…, metrics hash {actual_hash[:12]}…); "
+                "regenerate it with run_eval.py --update-baseline"
+            )
+        return Baseline(
+            name=payload["name"],
+            config_hash=payload["config_hash"],
+            metrics=metrics,
+            tolerances=payload.get("tolerances", {}),
+            git_rev=payload.get("git_rev", "unknown"),
+        )
+
+    def compare(
+        self,
+        name: str,
+        metrics: Mapping[str, Mapping[str, float]],
+        config_hash: str,
+    ) -> DriftReport:
+        """Compare a fresh campaign's metrics against a stored baseline.
+
+        Every baselined ``(design, metric)`` pair must be present in the new
+        metrics and satisfy ``|observed - baseline| <= atol + rtol *
+        |baseline|`` (metrics without a stored tolerance use
+        :data:`DEFAULT_TOLERANCES`; unknown metrics fall back to exact
+        equality with a tiny float slack).  Extra metrics in the fresh run
+        never fail the gate — growth is not drift.
+
+        Raises
+        ------
+        ValueError
+            When ``config_hash`` differs from the baseline's — the numbers
+            are not comparable; refresh the baseline deliberately.
+        """
+        baseline = self.load(name)
+        if baseline.config_hash != config_hash:
+            raise ValueError(
+                f"baseline {name!r} was measured on a different campaign "
+                f"configuration (baseline hash {baseline.config_hash[:12]}…, "
+                f"run hash {config_hash[:12]}…); refresh it with "
+                "run_eval.py --update-baseline"
+            )
+        report = DriftReport(baseline_name=name)
+        for label, expected in baseline.metrics.items():
+            observed_row = metrics.get(label)
+            if observed_row is None:
+                report.missing.append(label)
+                continue
+            for metric, expected_value in expected.items():
+                band = baseline.tolerances.get(
+                    metric, DEFAULT_TOLERANCES.get(metric, {"rtol": 0.0, "atol": 1e-12})
+                )
+                allowed = float(band.get("atol", 0.0)) + float(
+                    band.get("rtol", 0.0)
+                ) * abs(expected_value)
+                observed_value = float(observed_row.get(metric, float("nan")))
+                report.compared += 1
+                delta = abs(observed_value - expected_value)
+                if not delta <= allowed:  # NaN-safe: NaN comparisons are False
+                    report.drifts.append(
+                        MetricDrift(
+                            heldout=label,
+                            metric=metric,
+                            baseline=float(expected_value),
+                            observed=observed_value,
+                            allowed=allowed,
+                        )
+                    )
+        return report

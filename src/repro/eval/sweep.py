@@ -1,0 +1,315 @@
+"""Scenario sweeps over the cross-design campaign's trained models.
+
+Where :class:`~repro.eval.protocol.CrossDesignEvaluator` measures accuracy on
+the held-out designs' *random* test vectors, :class:`ScenarioSweep` stresses
+the same trained models with the named workload scenarios of
+:mod:`repro.workloads.scenarios` — DVFS ramps, power viruses, clock-gating
+storms — across trace-length and seed variants.  Every job simulates the
+scenario's ground truth, predicts it through the campaign's served
+checkpoint, and reports the noise-map error plus hotspot precision/recall,
+so the sweep answers the question the random vectors cannot: does the model
+hold up on *structured* workloads it was never trained for?
+
+Jobs fan out across a process pool exactly like the datagen engine fans out
+shards (checkpoints cross the process boundary, each worker builds its
+designs and transient factorisations once), and the sweep manifest
+(``sweep.json``) follows the same resumable-artefact conventions: config
+hash, atomic row-by-row saves, complete rows skipped on re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.metrics import hotspot_precision_recall
+from repro.datagen.shards import atomic_write_text
+from repro.eval.config import EvalConfig
+from repro.io.results import ExperimentRecord, format_table
+from repro.pdn.designs import Design, design_from_name
+from repro.serving.registry import PredictorRegistry
+from repro.sim.dynamic_noise import DynamicNoiseAnalysis
+from repro.sim.transient import TransientOptions
+from repro.utils import Timer, get_logger
+from repro.workloads.scenarios import build_scenario
+
+__all__ = ["SweepJob", "ScenarioSweep"]
+
+_LOG = get_logger("eval.sweep")
+
+#: Sweep manifest file name inside a campaign workdir.
+SWEEP_NAME = "sweep.json"
+
+#: Sweep manifest schema version.
+SWEEP_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (held-out design, scenario, variant) evaluation task.
+
+    Attributes
+    ----------
+    heldout:
+        Held-out design label (must have a checkpoint in the campaign
+        registry).
+    scenario:
+        A name from :func:`repro.workloads.scenarios.scenario_names`.
+    num_steps:
+        Trace length of this variant.
+    seed:
+        Seed for the scenario's random choices.
+    """
+
+    heldout: str
+    scenario: str
+    num_steps: int
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Stable manifest key of this job."""
+        return f"{self.heldout}:{self.scenario}:{self.num_steps}:s{self.seed}"
+
+
+# Per-worker state, initialised once per process by _worker_init.
+_WORKER_REGISTRY: Optional[PredictorRegistry] = None
+_WORKER_REFERENCES: dict[str, str] = {}
+_WORKER_DT: float = 1e-11
+_WORKER_DESIGNS: dict[str, Design] = {}
+_WORKER_ANALYSES: dict[str, DynamicNoiseAnalysis] = {}
+
+
+def _worker_init(registry_root: str, references: dict[str, str], dt: float) -> None:
+    """Process-pool initializer: registry + design references, fresh caches."""
+    global _WORKER_REGISTRY, _WORKER_DT
+    _WORKER_REGISTRY = PredictorRegistry(registry_root)
+    _WORKER_REFERENCES.clear()
+    _WORKER_REFERENCES.update(references)
+    _WORKER_DT = dt
+    _WORKER_DESIGNS.clear()
+    _WORKER_ANALYSES.clear()
+
+
+def _worker_design(label: str) -> Design:
+    """Build (or fetch) this worker's instance of a held-out design."""
+    design = _WORKER_DESIGNS.get(label)
+    if design is None:
+        design = design_from_name(_WORKER_REFERENCES[label])
+        _WORKER_DESIGNS[label] = design
+    return design
+
+
+def _worker_analysis(label: str) -> DynamicNoiseAnalysis:
+    """Build (or fetch) the cached ground-truth analysis for one design."""
+    analysis = _WORKER_ANALYSES.get(label)
+    if analysis is None:
+        options = TransientOptions(store_waveform=False, solver_method="cholesky")
+        analysis = DynamicNoiseAnalysis(_worker_design(label), _WORKER_DT, options)
+        _WORKER_ANALYSES[label] = analysis
+    return analysis
+
+
+def _run_sweep_job(job: SweepJob) -> dict:
+    """Run one sweep job inside a worker; returns plain row fields."""
+    assert _WORKER_REGISTRY is not None
+    design = _worker_design(job.heldout)
+    predictor = _WORKER_REGISTRY.get(job.heldout)
+    trace = build_scenario(
+        job.scenario, design, num_steps=job.num_steps, dt=_WORKER_DT, seed=job.seed
+    )
+    truth = _worker_analysis(job.heldout).run(trace)
+    timer = Timer()
+    with timer.measure():
+        prediction = predictor.predict_trace(trace, design)
+    threshold = design.spec.hotspot_threshold
+    precision, recall = hotspot_precision_recall(
+        prediction.noise_map, truth.tile_noise, threshold
+    )
+    return {
+        "heldout": job.heldout,
+        "scenario": job.scenario,
+        "num_steps": job.num_steps,
+        "seed": job.seed,
+        "true_worst_noise_v": float(np.max(truth.tile_noise)),
+        "predicted_worst_noise_v": prediction.worst_noise,
+        "worst_noise_error_mv": abs(prediction.worst_noise - float(np.max(truth.tile_noise)))
+        * 1e3,
+        "map_mae_mv": float(np.mean(np.abs(prediction.noise_map - truth.tile_noise))) * 1e3,
+        "hotspot_precision": precision,
+        "hotspot_recall": recall,
+        "sim_runtime_s": truth.runtime_seconds,
+        "predict_runtime_s": timer.last,
+        "speedup": truth.runtime_seconds / timer.last if timer.last > 0 else float("inf"),
+        "worker_pid": os.getpid(),
+    }
+
+
+class ScenarioSweep:
+    """Fans scenario-variant evaluations across a process pool, resumably.
+
+    Parameters
+    ----------
+    config:
+        The campaign configuration (supplies the scenario grid, the design
+        references and the held-out labels).
+    workdir:
+        The campaign workdir of the :class:`CrossDesignEvaluator` that
+        trained the checkpoints; the sweep reads ``<workdir>/checkpoints``
+        and writes ``<workdir>/sweep.json``.
+    """
+
+    def __init__(self, config: EvalConfig, workdir: Union[str, Path]):
+        self.config = config
+        self.workdir = Path(workdir)
+        self.registry_root = self.workdir / "checkpoints"
+
+    @property
+    def manifest_path(self) -> Path:
+        """Location of the sweep's resumable manifest."""
+        return self.workdir / SWEEP_NAME
+
+    def jobs(self) -> list[SweepJob]:
+        """The full job grid: held-out designs x scenarios x variants."""
+        return [
+            SweepJob(heldout=heldout, scenario=scenario, num_steps=steps, seed=seed)
+            for heldout in self.config.heldout
+            for scenario in self.config.scenarios
+            for steps in self.config.scenario_steps
+            for seed in self.config.scenario_seeds
+        ]
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+
+    def load_rows(self) -> dict[str, dict]:
+        """Completed rows from the manifest (empty when none exists).
+
+        Raises
+        ------
+        ValueError
+            On a schema-version or config-hash mismatch — the manifest
+            belongs to a different campaign.
+        """
+        if not self.manifest_path.exists():
+            return {}
+        payload = json.loads(self.manifest_path.read_text())
+        if payload.get("version") != SWEEP_VERSION:
+            raise ValueError(
+                f"unsupported sweep manifest version {payload.get('version')!r} "
+                f"in {self.manifest_path}"
+            )
+        expected = self.config.config_hash()
+        if payload.get("config_hash") != expected:
+            raise ValueError(
+                f"sweep manifest at {self.manifest_path} belongs to a different "
+                f"campaign (manifest hash {payload.get('config_hash', '')[:12]}…, "
+                f"config hash {expected[:12]}…); use a fresh workdir"
+            )
+        return dict(payload.get("rows", {}))
+
+    def _save_rows(self, rows: dict[str, dict]) -> None:
+        """Persist the manifest atomically."""
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": SWEEP_VERSION,
+            "config_hash": self.config.config_hash(),
+            "rows": rows,
+        }
+        atomic_write_text(self.manifest_path, json.dumps(payload, indent=2, sort_keys=True))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, num_workers: Optional[int] = None, resume: bool = True
+    ) -> list[ExperimentRecord]:
+        """Run (or finish) the sweep and return every row as a record.
+
+        Pending jobs fan out across worker processes (``0`` runs inline;
+        platforms that refuse to spawn degrade to inline execution); the
+        manifest is re-saved after every finished job, so an interrupted
+        sweep resumes from the last completed row.
+        """
+        jobs = self.jobs()
+        rows = self.load_rows() if resume else {}
+        pending = [job for job in jobs if job.key not in rows]
+        if pending:
+            references = {
+                heldout: self.config.design_reference(heldout)
+                for heldout in self.config.heldout
+            }
+            for job, row in zip(
+                pending, self._run_jobs(pending, references, num_workers)
+            ):
+                rows[job.key] = row
+                self._save_rows(rows)
+        else:
+            _LOG.info("sweep already complete (%d rows)", len(rows))
+        self._save_rows(rows)
+        records = [
+            ExperimentRecord(
+                experiment="scenario_sweep",
+                label=job.key,
+                values=rows[job.key],
+            )
+            for job in jobs
+        ]
+        _LOG.info(
+            "scenario sweep: %d rows (%d new)\n%s",
+            len(records),
+            len(pending),
+            format_table(records, title="scenario sweep"),
+        )
+        return records
+
+    def _run_jobs(
+        self,
+        pending: list[SweepJob],
+        references: dict[str, str],
+        num_workers: Optional[int],
+    ):
+        """Yield one row per pending job, pooled when possible, else inline."""
+        completed = 0
+        if num_workers is None:
+            num_workers = min(len(pending), os.cpu_count() or 1)
+        if num_workers and num_workers > 0:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=num_workers,
+                    initializer=_worker_init,
+                    initargs=(str(self.registry_root), references, self.config.dt),
+                )
+            except (OSError, PermissionError, NotImplementedError) as error:
+                _LOG.warning("cannot create process pool (%s); sweeping inline", error)
+            else:
+                with pool:
+                    try:
+                        for row in pool.map(_run_sweep_job, pending):
+                            completed += 1
+                            yield row
+                        return
+                    except (BrokenProcessPool, pickle.PicklingError) as error:
+                        # Worker startup/transport failure, not a job failure
+                        # — job exceptions propagate unchanged.  Rows already
+                        # yielded stay recorded; the rest run inline.
+                        _LOG.warning(
+                            "process pool broke after %d/%d jobs (%s); "
+                            "sweeping the rest inline",
+                            completed,
+                            len(pending),
+                            error,
+                        )
+        _worker_init(str(self.registry_root), references, self.config.dt)
+        for job in pending[completed:]:
+            yield _run_sweep_job(job)

@@ -10,6 +10,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.config import ModelConfig
+from repro.core.inference import NoisePredictor
+from repro.core.model import WorstCaseNoiseNet
+from repro.features.extraction import FeatureNormalizer, distance_feature
 from repro.pdn import small_test_design
 from repro.workloads import build_dataset, expansion_split, generate_test_vectors
 from repro.workloads.vectors import VectorConfig
@@ -39,6 +43,62 @@ def tiny_dataset(tiny_design, tiny_traces):
 def tiny_split(tiny_dataset):
     """Expansion split of the tiny dataset."""
     return expansion_split(tiny_dataset, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_predictor(tiny_design):
+    """An (untrained) predictor for the tiny design; weights don't matter.
+
+    Shared by the inference and serving suites (which used to duplicate it).
+    Tests must treat it as read-only — anything that mutates weights or
+    normaliser builds its own predictor.
+    """
+    model = WorstCaseNoiseNet(
+        num_bumps=tiny_design.grid.num_bumps,
+        config=ModelConfig(distance_kernels=4, fusion_kernels=4, prediction_kernels=4, seed=0),
+    )
+    normalizer = FeatureNormalizer(current_scale=0.05, distance_scale=1000.0, noise_scale=0.15)
+    return NoisePredictor(
+        model=model,
+        normalizer=normalizer,
+        distance=distance_feature(tiny_design),
+        compression_rate=0.4,
+    )
+
+
+@pytest.fixture(scope="session")
+def write_legacy_checkpoint():
+    """Writer for the pre-PR-1 on-disk predictor layout.
+
+    Returns ``write(predictor, path, with_sidecar)``: weights + metadata in
+    the main archive and (optionally) the distance tensor in a
+    ``<name>.distance.npz`` sidecar — what ``NoisePredictor.load`` must keep
+    reading transparently.
+    """
+    from repro.nn import save_checkpoint
+
+    def write(predictor, path, with_sidecar=True):
+        metadata = {
+            "normalizer": predictor.normalizer.to_dict(),
+            "compression_rate": predictor.compression_rate,
+            "rate_step": predictor.rate_step,
+            "num_bumps": predictor.model.num_bumps,
+            "model_config": {
+                "distance_kernels": predictor.model.config.distance_kernels,
+                "fusion_kernels": predictor.model.config.fusion_kernels,
+                "prediction_kernels": predictor.model.config.prediction_kernels,
+                "kernel_size": predictor.model.config.kernel_size,
+                "distance_depth": predictor.model.config.distance_depth,
+                "prediction_depth": predictor.model.config.prediction_depth,
+                "seed": predictor.model.config.seed,
+            },
+            "distance_shape": list(predictor.distance.shape),
+        }
+        save_checkpoint(predictor.model, path, metadata=metadata)
+        if with_sidecar:
+            np.savez_compressed(str(path) + ".distance.npz", distance=predictor.distance)
+
+    return write
 
 
 @pytest.fixture()

@@ -3,25 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.config import ModelConfig
 from repro.core.inference import NoisePredictor
-from repro.core.model import WorstCaseNoiseNet
-from repro.features.extraction import FeatureNormalizer, distance_feature
 
 
 @pytest.fixture(scope="module")
-def predictor(tiny_design):
-    model = WorstCaseNoiseNet(
-        num_bumps=tiny_design.grid.num_bumps,
-        config=ModelConfig(distance_kernels=4, fusion_kernels=4, prediction_kernels=4, seed=0),
-    )
-    normalizer = FeatureNormalizer(current_scale=0.05, distance_scale=1000.0, noise_scale=0.15)
-    return NoisePredictor(
-        model=model,
-        normalizer=normalizer,
-        distance=distance_feature(tiny_design),
-        compression_rate=0.4,
-    )
+def predictor(tiny_predictor):
+    """The shared untrained predictor (see tests/conftest.py)."""
+    return tiny_predictor
 
 
 class TestNoisePredictor:
@@ -99,45 +87,47 @@ class TestNoisePredictor:
         restored = NoisePredictor.load(path)
         np.testing.assert_array_equal(restored.distance, predictor.distance)
 
-    @staticmethod
-    def _write_legacy_checkpoint(predictor, path, with_sidecar):
-        """Reproduce the old on-disk layout: weights + metadata in the main
-        archive, distance tensor in a "<name>.distance.npz" sidecar."""
-        from repro.nn import save_checkpoint
-
-        metadata = {
-            "normalizer": predictor.normalizer.to_dict(),
-            "compression_rate": predictor.compression_rate,
-            "rate_step": predictor.rate_step,
-            "num_bumps": predictor.model.num_bumps,
-            "model_config": {
-                "distance_kernels": predictor.model.config.distance_kernels,
-                "fusion_kernels": predictor.model.config.fusion_kernels,
-                "prediction_kernels": predictor.model.config.prediction_kernels,
-                "kernel_size": predictor.model.config.kernel_size,
-                "distance_depth": predictor.model.config.distance_depth,
-                "prediction_depth": predictor.model.config.prediction_depth,
-                "seed": predictor.model.config.seed,
-            },
-            "distance_shape": list(predictor.distance.shape),
-        }
-        save_checkpoint(predictor.model, path, metadata=metadata)
-        if with_sidecar:
-            np.savez_compressed(str(path) + ".distance.npz", distance=predictor.distance)
-
-    def test_load_legacy_sidecar_checkpoint(self, predictor, tiny_design, tiny_traces, tmp_path):
+    def test_load_legacy_sidecar_checkpoint(
+        self, predictor, tiny_design, tiny_traces, tmp_path, write_legacy_checkpoint
+    ):
         path = tmp_path / "legacy.npz"
-        self._write_legacy_checkpoint(predictor, path, with_sidecar=True)
+        write_legacy_checkpoint(predictor, path, with_sidecar=True)
         restored = NoisePredictor.load(path)
         original = predictor.predict_trace(tiny_traces[0], tiny_design)
         reloaded = restored.predict_trace(tiny_traces[0], tiny_design)
         np.testing.assert_allclose(original.noise_map, reloaded.noise_map, rtol=1e-9)
 
-    def test_load_without_any_distance_source_fails(self, predictor, tmp_path):
+    def test_legacy_roundtrip_preserves_settings_and_distance(
+        self, predictor, tmp_path, write_legacy_checkpoint
+    ):
+        path = tmp_path / "legacy.npz"
+        write_legacy_checkpoint(predictor, path, with_sidecar=True)
+        restored = NoisePredictor.load(path)
+        assert restored.compression_rate == predictor.compression_rate
+        assert restored.rate_step == predictor.rate_step
+        np.testing.assert_array_equal(restored.distance, predictor.distance)
+        assert restored.fingerprint == predictor.fingerprint
+
+    def test_load_without_any_distance_source_fails(
+        self, predictor, tmp_path, write_legacy_checkpoint
+    ):
         path = tmp_path / "incomplete.npz"
-        self._write_legacy_checkpoint(predictor, path, with_sidecar=False)
+        write_legacy_checkpoint(predictor, path, with_sidecar=False)
         with pytest.raises(FileNotFoundError, match="distance"):
             NoisePredictor.load(path)
+
+    def test_save_then_load_ignores_stale_sidecar(
+        self, predictor, tiny_design, tiny_traces, tmp_path, write_legacy_checkpoint, rng
+    ):
+        # A modern self-contained checkpoint sitting next to a stale legacy
+        # sidecar must serve the *embedded* distance tensor, not the sidecar.
+        path = tmp_path / "modern.npz"
+        predictor.save(path)
+        np.savez_compressed(
+            str(path) + ".distance.npz", distance=rng.random(predictor.distance.shape)
+        )
+        restored = NoisePredictor.load(path)
+        np.testing.assert_array_equal(restored.distance, predictor.distance)
 
     def test_load_rejects_checkpoint_without_metadata(self, predictor, tmp_path):
         from repro.nn import save_checkpoint

@@ -9,9 +9,46 @@ from repro.core.metrics import (
     absolute_error,
     evaluate_predictions,
     hotspot_missing_rate,
+    hotspot_precision_recall,
     relative_error,
     roc_auc,
 )
+
+
+class TestHotspotPrecisionRecall:
+    def test_perfect_prediction(self):
+        truth = np.array([[0.2, 0.05], [0.15, 0.01]])
+        precision, recall = hotspot_precision_recall(truth, truth, 0.1)
+        assert (precision, recall) == (1.0, 1.0)
+
+    def test_mixed_prediction(self):
+        truth = np.array([0.2, 0.2, 0.05, 0.05])
+        predicted = np.array([0.2, 0.05, 0.2, 0.05])  # one TP, one FN, one FP
+        precision, recall = hotspot_precision_recall(predicted, truth, 0.1)
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+
+    def test_degenerate_cases_follow_conventions(self):
+        cold = np.array([0.01, 0.02])
+        hot = np.array([0.2, 0.3])
+        # Nothing predicted hot: empty claim, precision 1; recall catches 0.
+        assert hotspot_precision_recall(cold, hot, 0.1) == (1.0, 0.0)
+        # Nothing truly hot: recall 1 by convention, precision punishes FPs.
+        assert hotspot_precision_recall(hot, cold, 0.1) == (0.0, 1.0)
+        # Nothing hot anywhere: both 1.
+        assert hotspot_precision_recall(cold, cold, 0.1) == (1.0, 1.0)
+
+    def test_recall_complements_missing_rate(self, rng):
+        predicted = rng.random((5, 6, 6)) * 0.2
+        truth = rng.random((5, 6, 6)) * 0.2
+        _, recall = hotspot_precision_recall(predicted, truth, 0.1)
+        assert recall == pytest.approx(1.0 - hotspot_missing_rate(predicted, truth, 0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_precision_recall(np.ones(2), np.ones(3), 0.1)
+        with pytest.raises(ValueError):
+            hotspot_precision_recall(np.ones(2), np.ones(2), 0.0)
 
 
 class TestAbsoluteRelativeError:

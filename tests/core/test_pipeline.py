@@ -36,6 +36,7 @@ class TestRuntimeComparison:
         assert RuntimeComparison(1.0, 0.0, 1).speedup == float("inf")
 
 
+@pytest.mark.slow
 class TestWorstCaseNoiseFramework:
     def test_generate_vectors_count(self, quick_framework):
         vectors = quick_framework.generate_vectors()

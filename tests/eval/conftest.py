@@ -1,0 +1,28 @@
+"""Shared fixtures for the evaluation-harness tests.
+
+One ``tiny``-budget campaign is run per session and shared read-only by the
+protocol, sweep and baseline tests — the campaign (corpus generation, pooled
+training, serving-path screening) is the expensive part, the assertions are
+cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import CrossDesignEvaluator, budget
+
+
+@pytest.fixture(scope="session")
+def tiny_eval_config():
+    """The registered ``tiny`` evaluation budget."""
+    return budget("tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign(tiny_eval_config, tmp_path_factory):
+    """A completed tiny campaign: ``(config, workdir, evaluator, report)``."""
+    workdir = tmp_path_factory.mktemp("tiny-campaign")
+    evaluator = CrossDesignEvaluator(tiny_eval_config, workdir)
+    report = evaluator.run(num_workers=0)
+    return tiny_eval_config, workdir, evaluator, report

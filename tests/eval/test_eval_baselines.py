@@ -1,0 +1,128 @@
+"""Tests for repro.eval.baselines — the golden-baseline drift gate."""
+
+import json
+
+import pytest
+
+from repro.eval import BaselineStore, metrics_content_hash
+
+METRICS = {
+    "D3": {"mean_ae_mv": 10.0, "max_ae_mv": 35.0, "auc": 0.9},
+    "D4": {"mean_ae_mv": 14.0, "max_ae_mv": 55.0, "auc": 0.8},
+}
+CONFIG_HASH = "a" * 64
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return BaselineStore(tmp_path / "baselines")
+
+
+class TestBaselineStore:
+    def test_save_load_round_trip(self, store):
+        path = store.save("smoke", METRICS, CONFIG_HASH, git_rev="deadbeef")
+        assert path.exists()
+        baseline = store.load("smoke")
+        assert baseline.metrics == METRICS
+        assert baseline.config_hash == CONFIG_HASH
+        assert baseline.git_rev == "deadbeef"
+        assert store.exists("smoke")
+
+    def test_missing_baseline_raises(self, store):
+        assert not store.exists("smoke")
+        with pytest.raises(FileNotFoundError, match="update-baseline"):
+            store.load("smoke")
+
+    def test_invalid_names_rejected(self, store):
+        for bad in ("", "../escape", ".hidden"):
+            with pytest.raises(ValueError):
+                store.path(bad)
+
+    def test_tampered_file_fails_integrity_check(self, store):
+        path = store.save("smoke", METRICS, CONFIG_HASH)
+        payload = json.loads(path.read_text())
+        payload["metrics"]["D3"]["mean_ae_mv"] = 1.0  # hand-edited "baseline"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="integrity"):
+            store.load("smoke")
+
+    def test_content_hash_is_canonical(self):
+        shuffled = {"D4": dict(METRICS["D4"]), "D3": dict(METRICS["D3"])}
+        assert metrics_content_hash(METRICS) == metrics_content_hash(shuffled)
+        perturbed = {**METRICS, "D3": {**METRICS["D3"], "auc": 0.91}}
+        assert metrics_content_hash(METRICS) != metrics_content_hash(perturbed)
+
+
+class TestDriftGate:
+    def test_identical_metrics_pass(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        report = store.compare("smoke", METRICS, CONFIG_HASH)
+        assert report.passed
+        assert report.compared == 6
+        assert "within tolerance" in report.summary()
+
+    def test_within_tolerance_passes(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        nudged = {
+            label: {metric: value * 1.01 for metric, value in values.items()}
+            for label, values in METRICS.items()
+        }
+        # auc drifts by 1% absolute < 0.02 atol; errors by 1% < 10% rtol.
+        assert store.compare("smoke", nudged, CONFIG_HASH).passed
+
+    def test_drift_beyond_tolerance_fails(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        degraded = {**METRICS, "D4": {**METRICS["D4"], "mean_ae_mv": 28.0}}
+        report = store.compare("smoke", degraded, CONFIG_HASH)
+        assert not report.passed
+        assert len(report.drifts) == 1
+        drift = report.drifts[0]
+        assert (drift.heldout, drift.metric) == ("D4", "mean_ae_mv")
+        assert "DRIFT" in report.summary()
+
+    def test_missing_design_fails(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        partial = {"D3": METRICS["D3"]}
+        report = store.compare("smoke", partial, CONFIG_HASH)
+        assert not report.passed
+        assert report.missing == ["D4"]
+
+    def test_nan_observation_fails(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        broken = {**METRICS, "D3": {**METRICS["D3"], "auc": float("nan")}}
+        assert not store.compare("smoke", broken, CONFIG_HASH).passed
+
+    def test_extra_metrics_and_designs_are_not_drift(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        grown = {
+            label: {**values, "brand_new_metric": 1.0}
+            for label, values in METRICS.items()
+        }
+        grown["D5"] = {"mean_ae_mv": 1.0}
+        assert store.compare("smoke", grown, CONFIG_HASH).passed
+
+    def test_config_hash_mismatch_raises(self, store):
+        store.save("smoke", METRICS, CONFIG_HASH)
+        with pytest.raises(ValueError, match="different campaign"):
+            store.compare("smoke", METRICS, "b" * 64)
+
+    def test_custom_tolerances_respected(self, store):
+        store.save(
+            "strict", METRICS, CONFIG_HASH,
+            tolerances={"mean_ae_mv": {"rtol": 0.0, "atol": 0.0}},
+        )
+        exact = store.compare("strict", METRICS, CONFIG_HASH)
+        assert exact.passed
+        nudged = {**METRICS, "D3": {**METRICS["D3"], "mean_ae_mv": 10.0 + 1e-9}}
+        assert not store.compare("strict", nudged, CONFIG_HASH).passed
+
+
+class TestCampaignBaselineIntegration:
+    def test_round_trip_against_real_report(self, tiny_campaign, tmp_path):
+        config, _, _, report = tiny_campaign
+        store = BaselineStore(tmp_path / "baselines")
+        store.save(config.name, report.gated_metrics(), config.config_hash())
+        drift = store.compare(
+            config.name, report.gated_metrics(), config.config_hash()
+        )
+        assert drift.passed

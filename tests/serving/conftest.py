@@ -1,29 +1,20 @@
-"""Shared fixtures for the serving-layer tests."""
+"""Shared fixtures for the serving-layer tests.
+
+The predictor itself lives in the top-level ``tests/conftest.py``
+(``tiny_predictor``) — the serving and inference suites used to build
+identical copies; ``serving_predictor`` is kept as a thin alias so the
+suite reads naturally.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.config import ModelConfig
-from repro.core.inference import NoisePredictor
-from repro.core.model import WorstCaseNoiseNet
-from repro.features.extraction import FeatureNormalizer, distance_feature
-
 
 @pytest.fixture(scope="module")
-def serving_predictor(tiny_design):
-    """An (untrained) predictor for the tiny design; weights don't matter here."""
-    model = WorstCaseNoiseNet(
-        num_bumps=tiny_design.grid.num_bumps,
-        config=ModelConfig(distance_kernels=4, fusion_kernels=4, prediction_kernels=4, seed=0),
-    )
-    normalizer = FeatureNormalizer(current_scale=0.05, distance_scale=1000.0, noise_scale=0.15)
-    return NoisePredictor(
-        model=model,
-        normalizer=normalizer,
-        distance=distance_feature(tiny_design),
-        compression_rate=0.4,
-    )
+def serving_predictor(tiny_predictor):
+    """The shared untrained predictor, under its serving-suite name."""
+    return tiny_predictor
 
 
 @pytest.fixture()

@@ -1,5 +1,7 @@
 """Tests for the per-design predictor registry."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -64,3 +66,99 @@ class TestPredictorRegistry:
     def test_capacity_validation(self, tmp_path):
         with pytest.raises(ValueError):
             PredictorRegistry(tmp_path, capacity=0)
+
+    def test_legacy_sidecar_checkpoint_served_through_registry(
+        self, tmp_path, tiny_design, serving_predictor, tiny_traces, write_legacy_checkpoint
+    ):
+        # A registry root holding an old-layout checkpoint (weights + a
+        # "<name>.npz.distance.npz" sidecar) must list exactly one design and
+        # serve it transparently.
+        registry = PredictorRegistry(tmp_path / "legacy-root", capacity=2)
+        write_legacy_checkpoint(
+            serving_predictor, registry.checkpoint_path(tiny_design.name), with_sidecar=True
+        )
+        assert registry.available() == (tiny_design.name,)
+        loaded = registry.get(tiny_design.name)
+        expected = serving_predictor.predict_trace(tiny_traces[0], tiny_design)
+        served = loaded.predict_trace(tiny_traces[0], tiny_design)
+        np.testing.assert_allclose(served.noise_map, expected.noise_map, rtol=1e-10)
+
+
+class TestRegistryConcurrency:
+    """LRU eviction under concurrent access must stay consistent."""
+
+    NAMES = ("alpha", "beta", "gamma", "delta")
+
+    def _populated_registry(self, root, serving_predictor, capacity):
+        registry = PredictorRegistry(root, capacity=capacity)
+        for name in self.NAMES:
+            registry.register(name, serving_predictor)
+        registry.clear()
+        return registry
+
+    def test_concurrent_gets_with_lru_thrashing(self, tmp_path, serving_predictor):
+        # Capacity 2 with 4 designs: every thread's access pattern forces
+        # loads and evictions to interleave.  The registry must never raise,
+        # never exceed capacity, and always hand back a predictor whose
+        # fingerprint matches the registered checkpoint.
+        registry = self._populated_registry(tmp_path / "thrash", serving_predictor, capacity=2)
+        expected = serving_predictor.fingerprint
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(offset: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for step in range(25):
+                    name = self.NAMES[(offset + step) % len(self.NAMES)]
+                    predictor = registry.get(name)
+                    assert predictor.fingerprint == expected
+                    if step % 7 == 0:
+                        registry.evict(name)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert len(registry.loaded()) <= 2
+        assert registry.stats.loads + registry.stats.hits > 0
+        # Every design is still loadable afterwards (no checkpoint was lost).
+        for name in self.NAMES:
+            assert registry.get(name).fingerprint == expected
+
+    def test_concurrent_register_and_get(self, tmp_path, serving_predictor):
+        # Hot-swapping a design while readers fetch it: readers must always
+        # observe a fully-constructed predictor (old or new, never torn).
+        registry = self._populated_registry(tmp_path / "swap", serving_predictor, capacity=3)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer() -> None:
+            try:
+                while not stop.is_set():
+                    registry.register("alpha", serving_predictor, persist=False)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                for _ in range(50):
+                    predictor = registry.get("alpha")
+                    assert predictor.model.num_bumps == serving_predictor.model.num_bumps
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        writer_thread = threading.Thread(target=writer)
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writer_thread.start()
+        for thread in readers:
+            thread.start()
+        for thread in readers:
+            thread.join(timeout=30)
+        stop.set()
+        writer_thread.join(timeout=30)
+        assert not errors, errors

@@ -46,6 +46,7 @@ class TestStaticVsDynamicConsistency:
         assert virus.worst_noise > steady.worst_noise
 
 
+@pytest.mark.slow
 class TestEndToEndFramework:
     @pytest.fixture(scope="class")
     def result(self, tiny_design):
