@@ -27,19 +27,23 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages documented in the reference, in page order.
-DOCUMENTED_PACKAGES = ("repro.core", "repro.datagen", "repro.serving", "repro.eval")
+DOCUMENTED_PACKAGES = (
+    "repro.core", "repro.workloads", "repro.datagen", "repro.serving", "repro.eval"
+)
 
 HEADER = """\
 # API reference
 
-Public API of the prediction framework (`repro.core`), the dataset factory
-(`repro.datagen`), the serving layer (`repro.serving`) and the cross-design
-evaluation harness (`repro.eval`).
+Public API of the prediction framework (`repro.core`), the workload layer
+(`repro.workloads`), the dataset factory (`repro.datagen`), the serving
+layer (`repro.serving`) and the cross-design evaluation harness
+(`repro.eval`).
 
 **This file is generated** from the package docstrings by
 `python scripts/gen_api_docs.py`; edit the docstrings, not this file — CI
 fails when the two drift apart.  See `docs/tutorial.md` for a guided tour,
-`docs/data-pipeline.md` for the on-disk corpus contract and
+`docs/data-pipeline.md` for the on-disk corpus contract,
+`docs/workloads.md` for the scenario library and
 `docs/evaluation.md` for the evaluation protocols and baseline workflow.
 """
 

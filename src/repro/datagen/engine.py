@@ -37,6 +37,7 @@ from repro.sim.transient import TransientOptions
 from repro.utils import Timer, get_logger
 from repro.utils.random import spawn_rngs
 from repro.workloads.dataset import build_dataset
+from repro.workloads.scenarios import build_scenario_trace
 from repro.workloads.vectors import TestVectorGenerator
 
 _LOG = get_logger("datagen.engine")
@@ -168,7 +169,11 @@ def shard_vectors(design: Design, spec: CorpusDesignSpec, index: int):
     The seeds of the *whole* suite are derived first and then sliced, so a
     shard's vectors are identical to the same positions of
     :meth:`~repro.workloads.vectors.TestVectorGenerator.generate_suite`
-    regardless of shard size or generation order.
+    regardless of shard size or generation order.  Vector indices the spec's
+    ``scenario_mix`` claims (see :meth:`~repro.datagen.spec.CorpusDesignSpec.
+    scenario_assignment`) are built as scenario traces from the same
+    per-vector generator, so blending scenarios in changes neither the other
+    vectors nor the resume semantics.
 
     Parameters
     ----------
@@ -187,10 +192,21 @@ def shard_vectors(design: Design, spec: CorpusDesignSpec, index: int):
     start, stop = spec.shard_bounds(index)
     rngs = spawn_rngs(spec.seed, spec.num_vectors)[start:stop]
     generator = TestVectorGenerator(design, spec.vector_config())
-    return [
-        generator.generate(rng, name=f"{design.name}-v{global_index:04d}")
-        for global_index, rng in zip(range(start, stop), rngs)
-    ]
+    assignment = spec.scenario_assignment()
+    traces = []
+    for global_index, rng in zip(range(start, stop), rngs):
+        name = f"{design.name}-v{global_index:04d}"
+        scenario = assignment.get(global_index)
+        if scenario is None:
+            traces.append(generator.generate(rng, name=name))
+        else:
+            traces.append(
+                build_scenario_trace(
+                    scenario, design,
+                    num_steps=spec.num_steps, dt=spec.dt, seed=rng, name=name,
+                )
+            )
+    return traces
 
 
 def _generate_shard(task: _ShardTask) -> dict:

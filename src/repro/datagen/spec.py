@@ -26,6 +26,8 @@ from typing import Optional
 
 from repro.sim.transient import INTEGRATION_METHODS, TransientOptions
 from repro.utils import check_positive
+from repro.workloads.scenarios import validate_scenario
+from repro.workloads.specs import ScenarioSpec
 from repro.workloads.vectors import VectorConfig
 
 
@@ -61,6 +63,18 @@ class CorpusDesignSpec:
     compression_rate / rate_step:
         Algorithm-1 temporal-compression parameters applied to the features
         (``None`` disables compression).
+    scenario_mix:
+        Scenario specs (family names or
+        :class:`~repro.workloads.specs.ScenarioSpec` objects) blended into
+        the vector suite.  When non-empty, ``scenario_fraction`` of the
+        design's vectors are scenario traces instead of random vectors:
+        scenario slots are spread evenly over the global vector-index range
+        and cycle through the mix, so the assignment is a pure function of
+        the spec — shard layout, generation order and resume cannot change
+        it, and the corpus config hash covers it.
+    scenario_fraction:
+        Fraction of ``num_vectors`` built from ``scenario_mix`` (only
+        meaningful when the mix is non-empty).
     """
 
     label: str
@@ -72,6 +86,8 @@ class CorpusDesignSpec:
     shard_size: int = 20
     compression_rate: Optional[float] = 0.3
     rate_step: float = 0.05
+    scenario_mix: tuple = ()
+    scenario_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if not self.label or "/" in self.label or self.label in (".", ".."):
@@ -88,6 +104,21 @@ class CorpusDesignSpec:
                 f"compression_rate must be in (0, 1] or None, got {self.compression_rate}"
             )
         check_positive(self.rate_step, "rate_step")
+        object.__setattr__(
+            self,
+            "scenario_mix",
+            tuple(validate_scenario(entry) for entry in self.scenario_mix),
+        )
+        if self.scenario_mix:
+            if not 0.0 < self.scenario_fraction <= 1.0:
+                raise ValueError(
+                    f"scenario_fraction must be in (0, 1], got {self.scenario_fraction}"
+                )
+        else:
+            # Without a mix the fraction is meaningless and excluded from
+            # to_dict; pin it to the default so equality and the
+            # to_dict/from_dict round-trip stay consistent.
+            object.__setattr__(self, "scenario_fraction", 0.5)
 
     @property
     def num_shards(self) -> int:
@@ -116,6 +147,58 @@ class CorpusDesignSpec:
     def vector_config(self) -> VectorConfig:
         """The test-vector generator configuration for this design."""
         return VectorConfig(num_steps=self.num_steps, dt=self.dt)
+
+    def scenario_assignment(self) -> dict[int, ScenarioSpec]:
+        """Global vector indices built from ``scenario_mix`` (index -> spec).
+
+        ``round(scenario_fraction * num_vectors)`` slots (at least one, at
+        most all) are spread evenly over ``0 .. num_vectors - 1`` and cycle
+        through the mix in order.  Every other index stays a random vector.
+        The mapping depends only on spec fields, never on shard layout, so
+        resumed and re-sharded runs agree on which vector is which.
+        """
+        if not self.scenario_mix:
+            return {}
+        count = min(
+            self.num_vectors,
+            max(1, int(round(self.scenario_fraction * self.num_vectors))),
+        )
+        return {
+            (slot * self.num_vectors) // count: self.scenario_mix[slot % len(self.scenario_mix)]
+            for slot in range(count)
+        }
+
+    def vector_scenario(self, index: int) -> Optional[ScenarioSpec]:
+        """The scenario spec of one global vector index (``None`` = random)."""
+        if not 0 <= index < self.num_vectors:
+            raise ValueError(
+                f"vector index {index} out of range for {self.num_vectors} vectors"
+            )
+        return self.scenario_assignment().get(index)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation.
+
+        ``scenario_mix``/``scenario_fraction`` are omitted when the mix is
+        empty, so pre-existing all-random corpora keep their config hashes
+        (and stay resumable) across this field's introduction.
+        """
+        payload = asdict(self)
+        if self.scenario_mix:
+            payload["scenario_mix"] = [spec.to_dict() for spec in self.scenario_mix]
+        else:
+            del payload["scenario_mix"]
+            del payload["scenario_fraction"]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CorpusDesignSpec":
+        """Rebuild a design spec from :meth:`to_dict` output."""
+        payload = dict(payload)
+        payload["scenario_mix"] = tuple(
+            ScenarioSpec.from_dict(entry) for entry in payload.get("scenario_mix", ())
+        )
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -190,14 +273,16 @@ class CorpusSpec:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation (stored in the manifest)."""
-        return asdict(self)
+        payload = asdict(self)
+        payload["designs"] = [design.to_dict() for design in self.designs]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CorpusSpec":
         """Rebuild a spec from :meth:`to_dict` output."""
         payload = dict(payload)
         payload["designs"] = tuple(
-            CorpusDesignSpec(**entry) for entry in payload["designs"]
+            CorpusDesignSpec.from_dict(entry) for entry in payload["designs"]
         )
         return cls(**payload)
 

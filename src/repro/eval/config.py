@@ -26,6 +26,8 @@ from typing import Optional
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.datagen.spec import CorpusDesignSpec, CorpusSpec
 from repro.utils import check_positive, check_probability
+from repro.workloads.scenarios import validate_scenario
+from repro.workloads.specs import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -64,8 +66,11 @@ class EvalConfig:
         Micro-batch bound of the :class:`~repro.serving.ScreeningService`
         the held-out vectors are screened through.
     scenarios:
-        Named workloads (:func:`repro.workloads.scenarios.scenario_names`)
-        swept against every held-out design's trained model.
+        Workloads swept against every held-out design's trained model: each
+        entry is a family name (defaults) or a full
+        :class:`~repro.workloads.specs.ScenarioSpec` (parameter variants,
+        compositions), so one sweep grid can fan over arbitrarily many
+        members of a family.
     scenario_steps:
         Trace-length variants of the scenario sweep.
     scenario_seeds:
@@ -89,7 +94,7 @@ class EvalConfig:
     model: ModelConfig = field(default_factory=ModelConfig)
     training: TrainingConfig = field(default_factory=TrainingConfig)
     max_batch: int = 16
-    scenarios: tuple[str, ...] = ()
+    scenarios: tuple = ()
     scenario_steps: tuple[int, ...] = (60,)
     scenario_seeds: tuple[int, ...] = (0,)
 
@@ -117,6 +122,15 @@ class EvalConfig:
         for steps in self.scenario_steps:
             if steps < 2:
                 raise ValueError(f"scenario_steps entries must be >= 2, got {steps}")
+        for scenario in self.scenarios:
+            if not isinstance(scenario, (str, ScenarioSpec)):
+                raise ValueError(
+                    f"scenarios entries must be names or ScenarioSpec, got {scenario!r}"
+                )
+            # Fail at config construction, not inside a sweep worker.  The
+            # entries themselves stay as written (names stay plain strings,
+            # keeping name-only config hashes stable).
+            validate_scenario(scenario)
         if self.scenarios and not (self.scenario_steps and self.scenario_seeds):
             raise ValueError("a scenario sweep needs at least one steps and seed variant")
 
@@ -164,8 +178,19 @@ class EvalConfig:
         )
 
     def to_dict(self) -> dict:
-        """JSON-serialisable representation (stored in artefacts)."""
-        return asdict(self)
+        """JSON-serialisable representation (stored in artefacts).
+
+        Named scenarios stay plain strings (so name-only configs keep the
+        config hashes their golden baselines were pinned against);
+        :class:`~repro.workloads.specs.ScenarioSpec` entries serialise via
+        their canonical ``to_dict`` form.
+        """
+        payload = asdict(self)
+        payload["scenarios"] = [
+            scenario if isinstance(scenario, str) else scenario.to_dict()
+            for scenario in self.scenarios
+        ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "EvalConfig":
@@ -174,7 +199,11 @@ class EvalConfig:
         payload["designs"] = tuple(
             (str(label), str(reference)) for label, reference in payload["designs"]
         )
-        for key in ("heldout", "scenarios", "scenario_steps", "scenario_seeds"):
+        payload["scenarios"] = tuple(
+            scenario if isinstance(scenario, str) else ScenarioSpec.from_dict(scenario)
+            for scenario in payload["scenarios"]
+        )
+        for key in ("heldout", "scenario_steps", "scenario_seeds"):
             payload[key] = tuple(payload[key])
         payload["model"] = ModelConfig(**payload["model"])
         payload["training"] = TrainingConfig(**payload["training"])

@@ -39,7 +39,8 @@ from repro.serving.registry import PredictorRegistry
 from repro.sim.dynamic_noise import DynamicNoiseAnalysis
 from repro.sim.transient import TransientOptions
 from repro.utils import Timer, get_logger
-from repro.workloads.scenarios import build_scenario
+from repro.workloads.scenarios import build_scenario_trace
+from repro.workloads.specs import ScenarioLike, normalize_scenario
 
 __all__ = ["SweepJob", "ScenarioSweep"]
 
@@ -62,7 +63,8 @@ class SweepJob:
         Held-out design label (must have a checkpoint in the campaign
         registry).
     scenario:
-        A name from :func:`repro.workloads.scenarios.scenario_names`.
+        A family name from :func:`repro.workloads.scenarios.scenario_names`
+        or a :class:`~repro.workloads.specs.ScenarioSpec` parameter variant.
     num_steps:
         Trace length of this variant.
     seed:
@@ -70,14 +72,19 @@ class SweepJob:
     """
 
     heldout: str
-    scenario: str
+    scenario: ScenarioLike
     num_steps: int
     seed: int
 
     @property
+    def scenario_label(self) -> str:
+        """Short scenario identifier (family name, or family + spec hash)."""
+        return normalize_scenario(self.scenario).label
+
+    @property
     def key(self) -> str:
-        """Stable manifest key of this job."""
-        return f"{self.heldout}:{self.scenario}:{self.num_steps}:s{self.seed}"
+        """Stable manifest key of this job (name-only jobs keep legacy keys)."""
+        return f"{self.heldout}:{self.scenario_label}:{self.num_steps}:s{self.seed}"
 
 
 # Per-worker state, initialised once per process by _worker_init.
@@ -123,7 +130,7 @@ def _run_sweep_job(job: SweepJob) -> dict:
     assert _WORKER_REGISTRY is not None
     design = _worker_design(job.heldout)
     predictor = _WORKER_REGISTRY.get(job.heldout)
-    trace = build_scenario(
+    trace = build_scenario_trace(
         job.scenario, design, num_steps=job.num_steps, dt=_WORKER_DT, seed=job.seed
     )
     truth = _worker_analysis(job.heldout).run(trace)
@@ -136,7 +143,7 @@ def _run_sweep_job(job: SweepJob) -> dict:
     )
     return {
         "heldout": job.heldout,
-        "scenario": job.scenario,
+        "scenario": job.scenario_label,
         "num_steps": job.num_steps,
         "seed": job.seed,
         "true_worst_noise_v": float(np.max(truth.tile_noise)),

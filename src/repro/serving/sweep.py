@@ -29,7 +29,8 @@ from repro.io.results import ExperimentRecord
 from repro.pdn.designs import Design, design_from_name
 from repro.serving.registry import PredictorRegistry
 from repro.utils import Timer, get_logger
-from repro.workloads.scenarios import build_scenario
+from repro.workloads.scenarios import build_scenario_trace
+from repro.workloads.specs import ScenarioLike, normalize_scenario
 
 _LOG = get_logger("serving.sweep")
 
@@ -46,7 +47,9 @@ class ScenarioJob:
         Design name understood by the sweep's design factory (and matching a
         registered checkpoint).
     scenario:
-        A name from :func:`repro.workloads.scenarios.scenario_names`.
+        A family name from :func:`repro.workloads.scenarios.scenario_names`
+        or a :class:`~repro.workloads.specs.ScenarioSpec` — parameter
+        variants and compositions screen exactly like named scenarios.
     num_steps / dt:
         Trace length and time step handed to the scenario builder.
     seed:
@@ -54,10 +57,15 @@ class ScenarioJob:
     """
 
     design: str
-    scenario: str
+    scenario: ScenarioLike
     num_steps: int = 200
     dt: float = 1e-11
     seed: int = 0
+
+    @property
+    def scenario_label(self) -> str:
+        """Short scenario identifier (family name, or family + spec hash)."""
+        return normalize_scenario(self.scenario).label
 
 
 def default_design_factory(name: str) -> Design:
@@ -92,7 +100,7 @@ def _run_job(job: ScenarioJob) -> dict:
         design = _WORKER_FACTORY(job.design)
         _WORKER_DESIGNS[job.design] = design
     predictor = _WORKER_REGISTRY.get(job.design)
-    trace = build_scenario(
+    trace = build_scenario_trace(
         job.scenario, design, num_steps=job.num_steps, dt=job.dt, seed=job.seed
     )
     timer = Timer()
@@ -101,7 +109,7 @@ def _run_job(job: ScenarioJob) -> dict:
     hotspots = result.hotspot_map(design.spec.hotspot_threshold)
     return {
         "design": job.design,
-        "scenario": job.scenario,
+        "scenario": job.scenario_label,
         "worst_noise_v": result.worst_noise,
         "mean_noise_v": float(np.mean(result.noise_map)),
         "hotspot_fraction": float(np.mean(hotspots)),

@@ -29,6 +29,7 @@ from repro.pdn.designs import Design
 from repro.sim.waveform import CurrentTrace
 from repro.utils import check_positive, check_probability
 from repro.utils.random import RandomState, ensure_rng, spawn_rngs
+from repro.workloads.activity import DEFAULT_MAX_ACTIVITY, clamp_activity, resonance_steps
 
 #: Event kinds the generator can compose into an activity profile.
 EVENT_KINDS = ("burst", "step", "ramp", "clock_gate")
@@ -58,7 +59,10 @@ class VectorConfig:
         period (these are the vectors that produce the deepest droops).
     max_activity:
         Upper clamp on the cluster activity (a circuit cannot switch harder
-        than its design maximum, no matter how many events overlap).
+        than its design maximum, no matter how many events overlap).  The
+        default is the shared activity contract's
+        :data:`~repro.workloads.activity.DEFAULT_MAX_ACTIVITY`, which the
+        scenario builders clamp to as well.
     toggle_jitter:
         Relative per-load, per-stamp jitter applied on top of the cluster
         activity (models instance-level toggling randomness).
@@ -72,7 +76,7 @@ class VectorConfig:
     baseline_range: tuple[float, float] = (0.05, 0.25)
     peak_range: tuple[float, float] = (0.6, 1.6)
     events_per_cluster: tuple[int, int] = (1, 4)
-    max_activity: float = 2.0
+    max_activity: float = DEFAULT_MAX_ACTIVITY
     resonance_probability: float = 0.5
     toggle_jitter: float = 0.35
     idle_probability: float = 0.15
@@ -114,11 +118,9 @@ class TestVectorGenerator:
     def __init__(self, design: Design, config: VectorConfig = VectorConfig()):
         self._design = design
         self._config = config
-        die_decap = design.grid.total_decap
-        resonance = design.spec.package.resonance_frequency(max(die_decap, 1e-15))
         # Width (in time stamps) of a half resonance period: a burst of this
         # width couples most strongly into the resonance.
-        self._resonance_steps = max(2, int(round(0.5 / (resonance * config.dt))))
+        self._resonance_steps = resonance_steps(design, config.dt)
 
     @property
     def config(self) -> VectorConfig:
@@ -190,7 +192,7 @@ class TestVectorGenerator:
             kind = EVENT_KINDS[int(rng.integers(0, len(EVENT_KINDS)))]
             peak = rng.uniform(*config.peak_range)
             profile += self._event(rng, time_index, kind, peak)
-        return np.clip(profile, 0.0, config.max_activity)
+        return clamp_activity(profile, config.max_activity)
 
     def _event(
         self,
@@ -218,7 +220,13 @@ class TestVectorGenerator:
             length = max(2, int(rng.uniform(0.1, 0.4) * num_steps))
             end = min(num_steps, start + length)
             profile = np.zeros(num_steps)
-            profile[start:end] = np.linspace(0.0, peak, end - start)
+            if end - start < 2:
+                # Degenerate ramp (num_steps == 2 can truncate the ramp to a
+                # single stamp): linspace(0, peak, 1) would contribute
+                # nothing, so jump straight to the peak instead.
+                profile[start:end] = peak
+            else:
+                profile[start:end] = np.linspace(0.0, peak, end - start)
             profile[end:] = peak
             return profile
         if kind == "clock_gate":

@@ -65,6 +65,34 @@ class TestEvalConfig:
         assert rebuilt == config
         assert rebuilt.config_hash() == config.config_hash()
 
+    def test_scenario_specs_round_trip_through_dict(self):
+        import json
+
+        from repro.workloads import overlay, scenario_spec
+
+        config = two_design_config(
+            scenarios=(
+                "steady_state",
+                scenario_spec("power_virus", swing=2.0),
+                overlay("duty_cycle_sweep", "didt_step_train"),
+            ),
+            scenario_steps=(30,),
+        )
+        rebuilt = EvalConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+        assert rebuilt.config_hash() == config.config_hash()
+        # Named scenarios serialise as plain strings, so name-only configs
+        # keep the hashes their golden baselines pinned.
+        assert config.to_dict()["scenarios"][0] == "steady_state"
+
+    def test_scenario_entries_validated(self):
+        with pytest.raises(ValueError, match="scenarios entries"):
+            two_design_config(scenarios=(42,))
+        # A misspelled family fails at config construction, not inside a
+        # sweep worker minutes into the campaign.
+        with pytest.raises(ValueError, match="unknown scenario"):
+            two_design_config(scenarios=("power_virous",))
+
 
 class TestBudgets:
     def test_registered_budgets(self):

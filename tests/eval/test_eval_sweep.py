@@ -2,11 +2,13 @@
 
 import dataclasses
 import json
+import shutil
 
 import pytest
 
 from repro.eval import ScenarioSweep
-from repro.eval.sweep import SWEEP_NAME
+from repro.eval.sweep import SWEEP_NAME, SweepJob
+from repro.workloads import scenario_spec
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +72,46 @@ class TestScenarioSweep:
         changed = dataclasses.replace(config, num_vectors=config.num_vectors + 1)
         with pytest.raises(ValueError, match="different campaign"):
             ScenarioSweep(changed, workdir).load_rows()
+
+    def test_spec_variants_fan_out_and_run_end_to_end(self, tiny_campaign, tmp_path):
+        # Parameter variants of one family are distinct sweep jobs with
+        # distinct keys, and they run through the same checkpoints as named
+        # scenarios (fresh workdir so the manifest hash matches the config).
+        config, workdir, _, _ = tiny_campaign
+        variant_config = dataclasses.replace(
+            config,
+            scenarios=(
+                "steady_state",
+                scenario_spec("steady_state", level=0.9),
+                scenario_spec("power_virus", period_scale=2.0),
+            ),
+        )
+        variant_workdir = tmp_path / "variants"
+        variant_workdir.mkdir()
+        shutil.copytree(workdir / "checkpoints", variant_workdir / "checkpoints")
+        sweep = ScenarioSweep(variant_config, variant_workdir)
+        jobs = sweep.jobs()
+        assert len({job.key for job in jobs}) == len(jobs)
+        records = sweep.run(num_workers=0)
+        assert len(records) == len(jobs)
+        labels = {record.values["scenario"] for record in records}
+        assert "steady_state" in labels
+        assert any(label.startswith("steady_state[") for label in labels)
+        assert any(label.startswith("power_virus[") for label in labels)
+        # The hotter steady-state variant predicts more noise than default.
+        by_label = {r.values["scenario"]: r.values for r in records}
+        default = by_label["steady_state"]
+        hot = next(v for k, v in by_label.items() if k.startswith("steady_state["))
+        assert hot["predicted_worst_noise_v"] > default["predicted_worst_noise_v"]
+
+    def test_job_keys_stable_for_named_scenarios(self):
+        job = SweepJob(heldout="D3", scenario="power_virus", num_steps=60, seed=1)
+        assert job.key == "D3:power_virus:60:s1"
+        spec_job = SweepJob(
+            heldout="D3", scenario=scenario_spec("power_virus", swing=2.0),
+            num_steps=60, seed=1,
+        )
+        assert spec_job.key.startswith("D3:power_virus[")
 
     def test_sweep_is_deterministic_for_fixed_jobs(self, completed_sweep, tmp_path):
         # Re-running the same jobs against the same checkpoints from a fresh

@@ -48,6 +48,32 @@ class TestScreenScenarios:
     def test_empty_job_list(self, registry):
         assert screen_scenarios([], registry.root, num_workers=0) == []
 
+    def test_spec_built_suites_screen_like_named_scenarios(self, registry, tiny_design):
+        from repro.workloads import overlay, scenario_spec
+
+        jobs = [
+            ScenarioJob(design=tiny_design.name, scenario="power_virus", num_steps=60),
+            ScenarioJob(
+                design=tiny_design.name,
+                scenario=scenario_spec("power_virus", base=0.6),
+                num_steps=60,
+            ),
+            ScenarioJob(
+                design=tiny_design.name,
+                scenario=overlay("steady_state", "didt_step_train"),
+                num_steps=60,
+            ),
+        ]
+        records = screen_scenarios(
+            jobs, registry.root, design_factory=_tiny_factory, num_workers=0
+        )
+        assert len(records) == 3
+        for job, record in zip(jobs, records):
+            assert record.label == f"{job.design}:{job.scenario_label}"
+            assert np.isfinite(record.values["worst_noise_v"])
+        # The hotter parameter variant screens hotter than the default.
+        assert records[1].values["worst_noise_v"] > records[0].values["worst_noise_v"]
+
     def test_process_pool_sweep(self, registry, sweep_jobs):
         try:
             records = screen_scenarios(

@@ -84,6 +84,33 @@ class TestTestVectorGenerator:
         generator = TestVectorGenerator(tiny_design, VectorConfig(num_steps=30))
         assert generator.resonance_steps >= 2
 
+    def test_ramp_event_contributes_at_two_steps(self, tiny_design):
+        # With num_steps == 2 the ramp window can shrink to one stamp, where
+        # linspace(0, peak, 1) used to contribute exactly nothing; the fixed
+        # event always reaches its peak.
+        generator = TestVectorGenerator(tiny_design, VectorConfig(num_steps=2))
+        time_index = np.arange(2)
+        for seed in range(64):
+            event = generator._event(np.random.default_rng(seed), time_index, "ramp", 1.3)
+            assert event.max() == pytest.approx(1.3)
+
+    def test_ramp_event_unchanged_for_regular_lengths(self, tiny_design):
+        # The degenerate-ramp fix must not touch ordinary traces: spans >= 2
+        # keep the exact linspace profile.
+        generator = TestVectorGenerator(tiny_design, VectorConfig(num_steps=40))
+        time_index = np.arange(40)
+        rng = np.random.default_rng(5)
+        reference_rng = np.random.default_rng(5)
+        event = generator._event(rng, time_index, "ramp", 1.0)
+        reference_rng.uniform(0.1, 0.9)  # the event-center draw
+        start = int(reference_rng.uniform(0.05, 0.6) * 40)
+        length = max(2, int(reference_rng.uniform(0.1, 0.4) * 40))
+        end = min(40, start + length)
+        expected = np.zeros(40)
+        expected[start:end] = np.linspace(0.0, 1.0, end - start)
+        expected[end:] = 1.0
+        np.testing.assert_array_equal(event, expected)
+
     def test_loads_in_same_cluster_correlate(self, tiny_design):
         # Cluster-level activity should make same-cluster loads more
         # correlated than loads from different clusters, on average.
