@@ -19,19 +19,23 @@ at least 3x the sequential loop.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from common import save_records
+from common import REPO_ROOT, append_trajectory, obs_snapshot, save_records
 from repro.core.config import ModelConfig
 from repro.core.inference import NoisePredictor
 from repro.core.model import WorstCaseNoiseNet
+from repro.datagen import git_revision
 from repro.features.extraction import (
     FeatureNormalizer,
     distance_feature,
     extract_vector_features,
 )
 from repro.io import ExperimentRecord, latency_throughput_columns
+from repro.obs import MetricsRegistry
 from repro.pdn import small_test_design
 from repro.serving import PredictorRegistry, ScreeningService
 from repro.utils import Timer
@@ -132,8 +136,12 @@ def test_serving_throughput_report(benchmark, serving_setup):
         )
     )
 
-    # 3. Full service, cold (model runs) and warm (pure cache hits).
-    with ScreeningService(registry, max_batch=MAX_BATCH, max_wait=2e-3) as service:
+    # 3. Full service, cold (model runs) and warm (pure cache hits), reporting
+    # through a live metrics registry so the per-path latency histograms feed
+    # the trajectory snapshot below.
+    with ScreeningService(
+        registry, max_batch=MAX_BATCH, max_wait=2e-3, metrics=MetricsRegistry()
+    ) as service:
         # Warm the worker thread itself on vectors outside the measured set.
         service.screen(warmup, design.name)
 
@@ -147,6 +155,7 @@ def test_serving_throughput_report(benchmark, serving_setup):
         warm_seconds, _ = best_of(1, lambda: service.screen(features, design.name))
         warm_latencies = service.latencies()[-len(features):]
         stats = service.stats
+        telemetry = obs_snapshot(service)
     records.append(
         ExperimentRecord(
             "serving",
@@ -176,6 +185,22 @@ def test_serving_throughput_report(benchmark, serving_setup):
             / records[0].values["vectors_per_sec"]
         )
     save_records(records, "serving", "Serving throughput — batched service vs per-vector loop")
+    append_trajectory(
+        "serving",
+        {
+            "timestamp": time.time(),
+            "git_rev": git_revision(REPO_ROOT),
+            "num_vectors": NUM_VECTORS,
+            "sequential_s": sequential_seconds,
+            "service_cold_s": cold_seconds,
+            "service_warm_s": warm_seconds,
+            "obs": telemetry,
+        },
+        header={
+            "metric": "screening service throughput vs sequential per-vector loop",
+            "min_speedup": 3.0,
+        },
+    )
 
     # Batched predictions match the sequential loop.
     for single, fused, from_service in zip(sequential, batched, served):

@@ -30,13 +30,12 @@ track the training-speed curve.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
-from common import save_records
+from common import append_trajectory, save_records
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import WorstCaseNoiseNet
 from repro.core.training import NoiseModelTrainer
@@ -113,20 +112,12 @@ def _best_of(runs, body):
     return min(times), result
 
 
-def _append_trajectory(entry: dict) -> None:
-    """Append one run to the repo-root ``BENCH_training.json`` trajectory."""
-    path = REPO_ROOT / "BENCH_training.json"
-    if path.exists():
-        payload = json.loads(path.read_text())
-    else:
-        payload = {
-            "metric": "batched training engine speedup vs per-sample loop",
-            "gated_batch_size": GATED_BATCH_SIZE,
-            "min_speedup": MIN_SPEEDUP,
-            "runs": [],
-        }
-    payload["runs"].append(entry)
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+#: Header seeding the repo-root ``BENCH_training.json`` trajectory file.
+_TRAJECTORY_HEADER = {
+    "metric": "batched training engine speedup vs per-sample loop",
+    "gated_batch_size": GATED_BATCH_SIZE,
+    "min_speedup": MIN_SPEEDUP,
+}
 
 
 def test_training_speedup_and_curve_equivalence(benchmark):
@@ -190,13 +181,15 @@ def test_training_speedup_and_curve_equivalence(benchmark):
         )
 
     save_records(records, "training", "Batched training engine vs per-sample loop")
-    _append_trajectory(
+    append_trajectory(
+        "training",
         {
             "timestamp": time.time(),
             "git_rev": git_revision(REPO_ROOT),
             "epochs": EPOCHS,
             "results": {str(batch_size): speedups[batch_size] for batch_size in BATCH_SIZES},
-        }
+        },
+        header=_TRAJECTORY_HEADER,
     )
 
     # Guarantee 1: the headline speedup at the paper-style batch size.

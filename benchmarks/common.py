@@ -21,12 +21,13 @@ the compression knee) are what the harness reproduces.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +48,53 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Root of the on-disk benchmark corpora (resumable across sessions).
 CORPUS_DIR = RESULTS_DIR / "corpus"
+
+#: Repository root — home of the ``BENCH_*.json`` trajectory files.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def append_trajectory(name: str, entry: dict, header: Optional[dict] = None) -> Path:
+    """Append one run entry to the repo-root ``BENCH_<name>.json`` trajectory.
+
+    Trajectory files track a performance curve across PRs: a stable header
+    describing the metric plus a ``runs`` list one entry long per benchmark
+    run.  ``header`` seeds the file on first creation and is ignored once the
+    file exists (the historical header stays authoritative).
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    if path.exists():
+        payload = json.loads(path.read_text())
+    else:
+        payload = dict(header or {})
+        payload.setdefault("runs", [])
+    payload["runs"].append(entry)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def obs_snapshot(service) -> dict:
+    """Serving-telemetry snapshot for trajectory rows.
+
+    Pulls cache hit rate, mean batch size, and per-path latency percentiles
+    out of a :class:`~repro.serving.service.ScreeningService`'s metrics
+    registry, so ``BENCH_*.json`` entries carry latency/throughput history
+    rather than bare totals.  Histogram percentiles appear only for paths
+    that actually observed samples (and only when the service was built with
+    a live registry).
+    """
+    stats = service.stats
+    snapshot = {
+        "requests": stats.requests,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "mean_batch_size": stats.mean_batch_size,
+    }
+    for path_name in ("cache_hit", "coalesced", "batched"):
+        histogram = service.metrics.get(f"serving.request_latency.{path_name}")
+        if histogram is not None and getattr(histogram, "count", 0):
+            snapshot[f"{path_name}_latency_ms"] = {
+                f"p{q:g}": histogram.percentile(q) * 1e3 for q in (50, 95, 99)
+            }
+    return snapshot
 
 
 def preset_name() -> str:

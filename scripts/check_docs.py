@@ -36,11 +36,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Markdown files whose links are validated.
 LINKED_FILES = ("README.md", "DESIGN.md", "docs/api.md", "docs/data-pipeline.md",
-                "docs/tutorial.md", "docs/evaluation.md", "docs/workloads.md")
+                "docs/tutorial.md", "docs/evaluation.md", "docs/workloads.md",
+                "docs/observability.md")
 
 #: Packages / modules whose public symbols must be documented.
 COVERED_PACKAGES = ("repro.serving", "repro.datagen", "repro.core.training",
-                    "repro.eval", "repro.workloads")
+                    "repro.eval", "repro.workloads", "repro.obs")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 

@@ -28,7 +28,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages documented in the reference, in page order.
 DOCUMENTED_PACKAGES = (
-    "repro.core", "repro.workloads", "repro.datagen", "repro.serving", "repro.eval"
+    "repro.core", "repro.workloads", "repro.datagen", "repro.serving",
+    "repro.eval", "repro.obs",
 )
 
 HEADER = """\
@@ -36,15 +37,16 @@ HEADER = """\
 
 Public API of the prediction framework (`repro.core`), the workload layer
 (`repro.workloads`), the dataset factory (`repro.datagen`), the serving
-layer (`repro.serving`) and the cross-design evaluation harness
-(`repro.eval`).
+layer (`repro.serving`), the cross-design evaluation harness
+(`repro.eval`) and the telemetry substrate (`repro.obs`).
 
 **This file is generated** from the package docstrings by
 `python scripts/gen_api_docs.py`; edit the docstrings, not this file — CI
 fails when the two drift apart.  See `docs/tutorial.md` for a guided tour,
 `docs/data-pipeline.md` for the on-disk corpus contract,
-`docs/workloads.md` for the scenario library and
-`docs/evaluation.md` for the evaluation protocols and baseline workflow.
+`docs/workloads.md` for the scenario library,
+`docs/evaluation.md` for the evaluation protocols and baseline workflow and
+`docs/observability.md` for metric/span naming and the run-report format.
 """
 
 
@@ -110,7 +112,10 @@ def _render_symbol(name: str, obj) -> list[str]:
         lines.append(_docstring(obj) + "\n")
     else:
         lines.append(f"### `{name}`\n")
-        lines.append(f"Constant of type `{type(obj).__name__}`: `{obj!r}`\n")
+        # Default object reprs embed a memory address; collapse them to the
+        # bare type so the rendered page is byte-stable across processes.
+        rendered = re.sub(r"<([\w.]+) object at 0x[0-9a-f]+>", r"\1", repr(obj))
+        lines.append(f"Constant of type `{type(obj).__name__}`: `{rendered}`\n")
     return lines
 
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Render an observability run report as human-readable tables.
+
+Reads the ``run_report.json`` a telemetry run produced (or, when the merge
+has not happened yet, merges the run directory's ``events-*.jsonl`` shards
+in memory) and prints the counters, gauges, latency histograms, and a
+per-name span roll-up.
+
+Usage::
+
+    python scripts/obs_report.py eval/runs/smoke/obs       # run directory
+    python scripts/obs_report.py path/to/run_report.json   # explicit file
+    python scripts/obs_report.py eval/runs/smoke/obs --json  # raw payload
+
+Exits non-zero when the target holds neither a report nor any event shards,
+so CI can assert that an instrumented run actually produced telemetry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import RUN_REPORT_NAME, build_run_report, load_run_report
+from repro.io import ExperimentRecord, format_table
+
+
+def _load(target: Path) -> dict:
+    """Load the report from a file or run directory (merging shards if needed)."""
+    if target.is_file():
+        return load_run_report(target)
+    if (target / RUN_REPORT_NAME).exists():
+        return load_run_report(target)
+    shards = sorted(target.glob("events-*.jsonl"))
+    if not shards:
+        raise FileNotFoundError(
+            f"{target} holds neither {RUN_REPORT_NAME} nor any events-*.jsonl shards"
+        )
+    return build_run_report(target)
+
+
+def _metric_tables(metrics: dict) -> list[str]:
+    """Counter/gauge/histogram tables from the report's metric payloads."""
+    counters, gauges, histograms = [], [], []
+    for name in sorted(metrics):
+        payload = metrics[name]
+        kind = payload.get("type")
+        if kind == "counter":
+            counters.append(ExperimentRecord("obs", name, {"count": payload["value"]}))
+        elif kind == "gauge":
+            gauges.append(
+                ExperimentRecord(
+                    "obs",
+                    name,
+                    {
+                        "last": payload["last"],
+                        "min": payload["min"],
+                        "max": payload["max"],
+                        "samples": payload["count"],
+                    },
+                )
+            )
+        elif kind == "histogram":
+            summary = payload.get("summary", {})
+            if not summary.get("count"):
+                continue
+            histograms.append(
+                ExperimentRecord(
+                    "obs",
+                    name,
+                    {
+                        "count": summary["count"],
+                        "mean_ms": summary["mean"] * 1e3,
+                        "p50_ms": summary["p50"] * 1e3,
+                        "p95_ms": summary["p95"] * 1e3,
+                        "p99_ms": summary["p99"] * 1e3,
+                        "max_ms": summary["max"] * 1e3,
+                    },
+                )
+            )
+    tables = []
+    if counters:
+        tables.append(format_table(counters, title="counters"))
+    if gauges:
+        tables.append(format_table(gauges, title="gauges"))
+    if histograms:
+        tables.append(format_table(histograms, title="latency histograms"))
+    return tables
+
+
+def _span_table(spans_by_shard: dict) -> str | None:
+    """Per-name span roll-up (count, total and mean duration) across shards."""
+    rollup: dict[str, list[float]] = {}
+    for records in spans_by_shard.values():
+        for record in records:
+            rollup.setdefault(record["name"], []).append(float(record["duration_s"]))
+    if not rollup:
+        return None
+    rows = [
+        ExperimentRecord(
+            "obs",
+            name,
+            {
+                "count": len(durations),
+                "total_s": sum(durations),
+                "mean_ms": sum(durations) / len(durations) * 1e3,
+            },
+        )
+        for name, durations in sorted(rollup.items())
+    ]
+    return format_table(rows, title="spans")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "target", type=Path,
+        help="run directory (holding run_report.json or events-*.jsonl) "
+        "or an explicit run_report.json path",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw report payload instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = _load(args.target)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"ERROR: {error}")
+        return 1
+
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+        return 0
+
+    print(
+        f"run report: config_hash={report.get('config_hash', '')[:12]}… "
+        f"git_rev={str(report.get('git_rev', 'unknown'))[:12]} "
+        f"shards={','.join(report.get('shards', [])) or '(none)'}"
+    )
+    for table in _metric_tables(report.get("metrics", {})):
+        print(table)
+    span_table = _span_table(report.get("spans", {}))
+    if span_table:
+        print(span_table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

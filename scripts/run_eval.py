@@ -31,6 +31,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs
 from repro.eval import BaselineStore, CrossDesignEvaluator, ScenarioSweep, budget, budget_names
 from repro.io import format_table
 
@@ -79,14 +80,25 @@ def main(argv: list[str] | None = None) -> int:
     config = budget(args.budget)
     workdir = args.workdir or (REPO_ROOT / "eval" / "runs" / config.name)
 
-    evaluator = CrossDesignEvaluator(config, workdir)
-    report = evaluator.run(num_workers=args.num_workers, resume=not args.fresh)
-    print(report.table())
+    # The campaign runs inside a telemetry run: every layer's metrics and
+    # spans (including pool workers') merge into <workdir>/obs/run_report.json,
+    # which scripts/obs_report.py renders (and CI exercises on every push).
+    obs.start_run(
+        workdir / "obs",
+        config={"budget": config.name, "config_hash": config.config_hash()},
+    )
+    try:
+        evaluator = CrossDesignEvaluator(config, workdir)
+        report = evaluator.run(num_workers=args.num_workers, resume=not args.fresh)
+        print(report.table())
 
-    if config.scenarios and not args.skip_sweep:
-        sweep = ScenarioSweep(config, workdir)
-        records = sweep.run(num_workers=args.num_workers, resume=not args.fresh)
-        print(format_table(records, title="scenario sweep"))
+        if config.scenarios and not args.skip_sweep:
+            sweep = ScenarioSweep(config, workdir)
+            records = sweep.run(num_workers=args.num_workers, resume=not args.fresh)
+            print(format_table(records, title="scenario sweep"))
+    finally:
+        telemetry_path = obs.finish_run()
+        print(f"telemetry report: {telemetry_path}")
 
     store = BaselineStore(args.baselines)
     metrics = report.gated_metrics()

@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.features.extraction import FeatureNormalizer
 from repro.nn import Adam, Conv2d, Linear, Module, ReLU, Sequential, Tensor, l1_loss, no_grad
-from repro.utils import Timer, check_positive, get_logger
+from repro import obs
+from repro.utils import check_positive, get_logger
 from repro.utils.random import RandomState, ensure_rng
 from repro.workloads.dataset import DatasetSplit, NoiseDataset
 
@@ -244,8 +245,7 @@ class PowerNetBaseline:
         if self.normalizer is None:
             raise RuntimeError("PowerNetBaseline.predict_sample called before fit()")
         config = self.config
-        timer = Timer()
-        with timer.measure():
+        with obs.get_tracer().span("baselines.powernet.predict") as span:
             padded_frames = self._frames(dataset, index)
             num_frames = padded_frames.shape[0]
             rows_count, cols_count = dataset.tile_shape
@@ -259,7 +259,7 @@ class PowerNetBaseline:
                     per_tile = scores.numpy().reshape(cols_count, num_frames)
                     noise_map[row] = per_tile.max(axis=1)
             noise_map = self.normalizer.denormalize_noise(noise_map)
-        return noise_map, timer.last
+        return noise_map, span.duration_s
 
     def predict_many(
         self, dataset: NoiseDataset, indices: Sequence[int]

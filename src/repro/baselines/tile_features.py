@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.baselines.trees import GradientBoostedTrees
 from repro.features.extraction import current_summary_maps
-from repro.utils import Timer, check_positive
+from repro import obs
+from repro.utils import check_positive
 from repro.workloads.dataset import DatasetSplit, NoiseDataset
 
 
@@ -116,11 +117,10 @@ class TileGBTBaseline:
 
     def predict_sample(self, dataset: NoiseDataset, index: int) -> tuple[np.ndarray, float]:
         """Predict one sample's noise map; returns ``(map, runtime_seconds)``."""
-        timer = Timer()
-        with timer.measure():
+        with obs.get_tracer().span("baselines.gbt.predict") as span:
             features = tile_feature_matrix(dataset, index)
             prediction = self._model.predict(features).reshape(dataset.tile_shape)
-        return prediction, timer.last
+        return prediction, span.duration_s
 
     def predict_many(
         self, dataset: NoiseDataset, indices: Sequence[int]
@@ -159,13 +159,12 @@ class TileRidgeBaseline:
         """Predict one sample's noise map; returns ``(map, runtime_seconds)``."""
         if self._weights is None:
             raise RuntimeError("predict_sample() called before fit()")
-        timer = Timer()
-        with timer.measure():
+        with obs.get_tracer().span("baselines.ridge.predict") as span:
             features = tile_feature_matrix(dataset, index)
             normalized = (features - self._feature_mean) / self._feature_std
             design = np.column_stack([normalized, np.ones(normalized.shape[0])])
             prediction = (design @ self._weights).reshape(dataset.tile_shape)
-        return prediction, timer.last
+        return prediction, span.duration_s
 
     def predict_many(
         self, dataset: NoiseDataset, indices: Sequence[int]

@@ -30,11 +30,13 @@ tolerance and speedup).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import WorstCaseNoiseNet
 from repro.features.extraction import FeatureNormalizer, fit_normalizer
@@ -57,6 +59,30 @@ LOSS_FUNCTIONS = {"l1": l1_loss, "mse": mse_loss, "huber": huber_loss}
 #: when every sample retains the same number of stamps, else one ``(T_i, m,
 #: n)`` array per sample (ragged Algorithm-1 compression).
 _PartitionInputs = Union[np.ndarray, List[np.ndarray]]
+
+
+def _gradient_norm(parameters) -> float:
+    """Global L2 norm over every parameter gradient (missing grads skipped)."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            flat = parameter.grad.reshape(-1)
+            total += float(np.dot(flat, flat))
+    return float(np.sqrt(total))
+
+
+def _observe_epoch(metrics, optimizer, num_examples: int, step_seconds: float) -> None:
+    """Record one epoch's telemetry: step time, throughput, gradient norm.
+
+    The gradient norm is read from the optimiser's parameters as left by the
+    epoch's final backward pass — a cheap per-epoch health signal; it is only
+    computed when the registry is live.
+    """
+    metrics.histogram("training.step_seconds").observe(max(step_seconds, 0.0))
+    if step_seconds > 0.0:
+        metrics.gauge("training.examples_per_sec").set(num_examples / step_seconds)
+    if metrics.enabled:
+        metrics.gauge("training.grad_norm").set(_gradient_norm(optimizer.parameters))
 
 
 @dataclass
@@ -261,6 +287,7 @@ class NoiseModelTrainer:
         epochs_without_improvement = 0
         timer = Timer()
 
+        metrics = obs.metrics()
         with timer.measure():
             for epoch in range(config.epochs):
                 order = np.arange(num_train)
@@ -268,6 +295,7 @@ class NoiseModelTrainer:
                     rng.shuffle(order)
 
                 epoch_loss = 0.0
+                epoch_started = time.perf_counter()
                 for start in range(0, num_train, config.batch_size):
                     rows = order[start:start + config.batch_size]
                     batch_inputs = (
@@ -285,6 +313,9 @@ class NoiseModelTrainer:
                     optimizer.step()
                     epoch_loss += loss.item() * len(rows)
                 epoch_loss /= num_train
+                _observe_epoch(
+                    metrics, optimizer, num_train, time.perf_counter() - epoch_started
+                )
 
                 validation_loss = self._evaluate_batched(
                     validation_inputs, validation_targets, normalized_distance
@@ -324,6 +355,7 @@ class NoiseModelTrainer:
         epochs_without_improvement = 0
         timer = Timer()
 
+        metrics = obs.metrics()
         with timer.measure():
             for epoch in range(config.epochs):
                 train_indices = np.array(self.split.train, dtype=int)
@@ -331,6 +363,7 @@ class NoiseModelTrainer:
                     rng.shuffle(train_indices)
 
                 epoch_loss = 0.0
+                epoch_started = time.perf_counter()
                 for start in range(0, len(train_indices), config.batch_size):
                     batch = train_indices[start:start + config.batch_size]
                     optimizer.zero_grad()
@@ -343,6 +376,12 @@ class NoiseModelTrainer:
                     optimizer.step()
                     epoch_loss += batch_loss.item() * len(batch)
                 epoch_loss /= len(train_indices)
+                _observe_epoch(
+                    metrics,
+                    optimizer,
+                    len(train_indices),
+                    time.perf_counter() - epoch_started,
+                )
 
                 validation_loss = self._evaluate_loss(
                     self.split.validation, normalized_distance

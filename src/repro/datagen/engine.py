@@ -29,12 +29,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro import obs
 from repro.datagen.shards import CorpusManifest, ShardRecord, ShardStore
 from repro.datagen.spec import CorpusDesignSpec, CorpusSpec
 from repro.pdn.designs import Design, design_from_name
 from repro.sim.dynamic_noise import DynamicNoiseAnalysis
 from repro.sim.transient import TransientOptions
-from repro.utils import Timer, get_logger
+from repro.utils import get_logger
 from repro.utils.random import spawn_rngs
 from repro.workloads.dataset import build_dataset
 from repro.workloads.scenarios import build_scenario_trace
@@ -219,19 +220,22 @@ def _generate_shard(task: _ShardTask) -> dict:
     if not store.claim(task.label, task.index):
         return {"deferred": True, "label": task.label, "index": task.index}
     try:
-        spec = task.design_spec
-        design = _worker_design(spec.design)
-        analysis = _worker_analysis(task, design)
-        traces = shard_vectors(design, spec, task.index)
-        dataset = build_dataset(
-            design,
-            traces,
-            compression_rate=spec.compression_rate,
-            rate_step=spec.rate_step,
-            analysis=analysis,
-            sim_batch_size=task.sim_batch_size,
-        )
-        content_hash = store.write_shard(task.label, task.index, dataset)
+        tracer = obs.get_tracer()
+        with tracer.span("datagen.shard", label=task.label, index=task.index) as shard_span:
+            spec = task.design_spec
+            design = _worker_design(spec.design)
+            analysis = _worker_analysis(task, design)
+            traces = shard_vectors(design, spec, task.index)
+            with tracer.span("datagen.simulate") as sim_span:
+                dataset = build_dataset(
+                    design,
+                    traces,
+                    compression_rate=spec.compression_rate,
+                    rate_step=spec.rate_step,
+                    analysis=analysis,
+                    sim_batch_size=task.sim_batch_size,
+                )
+            content_hash = store.write_shard(task.label, task.index, dataset)
         start, stop = spec.shard_bounds(task.index)
         record = ShardRecord(
             label=task.label,
@@ -243,6 +247,15 @@ def _generate_shard(task: _ShardTask) -> dict:
             content_hash=content_hash,
             seed=spec.seed,
         )
+        # Worker-side telemetry: shard throughput counters plus the per-shard
+        # solver-time histogram, flushed into this process's event shard so a
+        # pool run reports exactly what the same run inline would.
+        metrics = obs.metrics()
+        metrics.counter("datagen.shards_generated").inc()
+        metrics.counter("datagen.vectors_generated").inc(len(dataset))
+        metrics.histogram("datagen.shard_seconds").observe(shard_span.duration_s)
+        metrics.histogram("datagen.sim_seconds").observe(sim_span.duration_s)
+        obs.flush_shard()
         return {"deferred": False, "record": record.to_dict(), "pid": os.getpid()}
     finally:
         store.release(task.label, task.index)
@@ -298,7 +311,6 @@ def generate_corpus(
     """
     root = Path(root)
     store = ShardStore(root)
-    timer = Timer()
 
     manifest = store.load_manifest() if resume else None
     if manifest is not None and manifest.config_hash != spec.config_hash():
@@ -344,7 +356,7 @@ def generate_corpus(
         report.shards_deferred += len(tasks) - max_shards
         tasks = tasks[:max_shards]
 
-    with timer.measure():
+    with obs.get_tracer().span("datagen.generate_corpus", root=str(root)) as run_span:
         if tasks:
             for outcome in _run_tasks(tasks, design_factory, num_workers):
                 if outcome.get("deferred"):
@@ -354,7 +366,20 @@ def generate_corpus(
                 _record_completion(store, manifest, record)
                 report.shards_generated += 1
                 report.samples_generated += record.num_samples
-    report.seconds = timer.last
+        run_span.set(
+            generated=report.shards_generated,
+            skipped=report.shards_skipped,
+            deferred=report.shards_deferred,
+        )
+    report.seconds = run_span.duration_s
+    # Resume bookkeeping is parent-side telemetry (workers only count the
+    # shards they generated), so pool and inline runs merge identically.
+    metrics = obs.metrics()
+    if report.shards_skipped:
+        metrics.counter("datagen.shards_skipped").inc(report.shards_skipped)
+    if report.shards_deferred:
+        metrics.counter("datagen.shards_deferred").inc(report.shards_deferred)
+    obs.flush_shard()
     _LOG.info(
         "corpus at %s: %d generated, %d skipped, %d deferred (%.1f s)",
         root,

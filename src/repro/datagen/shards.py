@@ -25,7 +25,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import subprocess
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Union
@@ -34,6 +33,7 @@ import numpy as np
 
 from repro.datagen.spec import CorpusSpec
 from repro.utils import get_logger
+from repro.utils.artifacts import atomic_write_text, git_revision
 from repro.workloads.dataset import NoiseDataset, merge_datasets
 
 _LOG = get_logger("datagen.shards")
@@ -43,36 +43,6 @@ MANIFEST_NAME = "manifest.json"
 
 #: Manifest schema version (bumped on incompatible layout changes).
 MANIFEST_VERSION = 1
-
-
-def git_revision(repo_root: Union[str, Path, None] = None) -> str:
-    """Best-effort git revision of the generating code.
-
-    Parameters
-    ----------
-    repo_root:
-        Directory to resolve the revision in; defaults to this file's
-        repository checkout.
-
-    Returns
-    -------
-    The full commit hash, or ``"unknown"`` when git (or the checkout) is
-    unavailable — corpus generation never fails for provenance reasons.
-    """
-    if repo_root is None:
-        repo_root = Path(__file__).resolve().parent
-    try:
-        completed = subprocess.run(
-            ["git", "-C", str(repo_root), "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10.0,
-            check=False,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-    revision = completed.stdout.strip()
-    return revision if completed.returncode == 0 and revision else "unknown"
 
 
 def _hash_array(digest, array: np.ndarray) -> None:
@@ -160,19 +130,6 @@ class ShardRecord:
     def from_dict(cls, payload: dict) -> "ShardRecord":
         """Rebuild a record from :meth:`to_dict` output."""
         return cls(**payload)
-
-
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write a text file atomically (temp file in-directory + replace).
-
-    The write convention every resumable artefact in the repository follows
-    (corpus manifests, evaluation reports, sweep manifests, baselines): a
-    reader can never observe a torn file, and a killed writer leaves only a
-    stray ``*.tmp-<pid>`` behind.
-    """
-    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    temporary.write_text(text)
-    os.replace(temporary, path)
 
 
 def _pid_alive(pid: int) -> bool:

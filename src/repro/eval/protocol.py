@@ -28,6 +28,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.inference import NoisePredictor
 from repro.core.metrics import AccuracyReport, evaluate_predictions, hotspot_precision_recall
 from repro.datagen.engine import GenerationReport, generate_corpus
@@ -35,9 +36,10 @@ from repro.datagen.shards import atomic_write_text, load_design_dataset
 from repro.eval.config import EvalConfig
 from repro.eval.training import MultiDesignTrainer
 from repro.io.results import ExperimentRecord, format_table, latency_throughput_columns
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.serving.registry import PredictorRegistry
 from repro.serving.service import ScreeningService
-from repro.utils import Timer, get_logger
+from repro.utils import get_logger
 from repro.workloads.dataset import NoiseDataset
 
 __all__ = ["HeldoutEvaluation", "CrossDesignReport", "CrossDesignEvaluator"]
@@ -46,6 +48,22 @@ _LOG = get_logger("eval.protocol")
 
 #: Report artefact file name inside a campaign workdir.
 REPORT_NAME = "report.json"
+
+
+def _combined_latency_histogram(metrics: MetricsRegistry) -> Optional[LatencyHistogram]:
+    """All-paths serving latency histogram, or ``None`` when no samples exist.
+
+    Merges the service's per-path ``serving.request_latency.*`` instruments
+    (cache hit / coalesced / batched — identical bucket layouts by
+    construction) into one histogram the runtime tables read percentiles
+    from, replacing the raw-list re-sorting that used to live here.
+    """
+    combined = LatencyHistogram("serving.request_latency")
+    for path in ("cache_hit", "coalesced", "batched"):
+        instrument = metrics.get(f"serving.request_latency.{path}")
+        if instrument is not None:
+            combined.merge(instrument)
+    return combined if combined.count else None
 
 #: Report artefact schema version (bumped on incompatible changes).
 REPORT_VERSION = 1
@@ -300,6 +318,7 @@ class CrossDesignEvaluator:
         trained_on = config.training_labels(heldout)
         datasets = self._load_datasets()
         heldout_dataset = datasets[heldout]
+        tracer = obs.get_tracer()
 
         trainer = MultiDesignTrainer(
             {label: datasets[label] for label in trained_on},
@@ -308,8 +327,7 @@ class CrossDesignEvaluator:
             train_fraction=config.train_fraction,
             validation_ratio=config.validation_ratio,
         )
-        training_timer = Timer()
-        with training_timer.measure():
+        with tracer.span("eval.training", heldout=heldout) as training_span:
             trained = trainer.train()
 
         predictor = NoisePredictor(
@@ -322,11 +340,18 @@ class CrossDesignEvaluator:
         self.registry.register(heldout, predictor)
 
         features = [sample.features for sample in heldout_dataset.samples]
+        # A private live registry: the held-out row needs latency percentiles
+        # even when observability is globally off, and must not mix its
+        # histograms with other rows' samples.  When a run is active, the
+        # row's metrics are folded into the global registry afterwards.
+        service_metrics = MetricsRegistry()
         with ScreeningService(
-            self.registry, max_batch=config.max_batch, latency_window=max(4096, len(features))
+            self.registry,
+            max_batch=config.max_batch,
+            latency_window=max(4096, len(features)),
+            metrics=service_metrics,
         ) as service:
-            serving_timer = Timer()
-            with serving_timer.measure():
+            with tracer.span("eval.serving", heldout=heldout) as serving_span:
                 results = service.screen(features, heldout)
             latencies = service.latencies()
             stats = service.stats
@@ -337,6 +362,9 @@ class CrossDesignEvaluator:
                 "mean_batch_size": stats.mean_batch_size,
                 "max_batch_observed": stats.max_batch_observed,
             }
+        latency_samples = _combined_latency_histogram(service_metrics) or latencies
+        if obs.enabled():
+            obs.metrics().merge_snapshot(service_metrics.snapshot())
 
         predicted = np.stack([result.noise_map for result in results])
         truth = np.stack([sample.target for sample in heldout_dataset.samples])
@@ -355,13 +383,13 @@ class CrossDesignEvaluator:
             hotspot_precision=precision,
             hotspot_recall=recall,
             latency=latency_throughput_columns(
-                latencies, total_seconds=serving_timer.last, vectors=len(features)
+                latency_samples, total_seconds=serving_span.duration_s, vectors=len(features)
             ),
             service=service_counters,
             training_epochs=trained.history.num_epochs,
             best_validation_loss=trained.history.best_validation_loss,
-            training_seconds=training_timer.last,
-            serving_seconds=serving_timer.last,
+            training_seconds=training_span.duration_s,
+            serving_seconds=serving_span.duration_s,
             simulator_seconds=heldout_dataset.total_sim_runtime,
         )
         _LOG.info(

@@ -38,7 +38,8 @@ from repro.pdn.designs import Design, design_from_name
 from repro.serving.registry import PredictorRegistry
 from repro.sim.dynamic_noise import DynamicNoiseAnalysis
 from repro.sim.transient import TransientOptions
-from repro.utils import Timer, get_logger
+from repro import obs
+from repro.utils import get_logger
 from repro.workloads.scenarios import build_scenario_trace
 from repro.workloads.specs import ScenarioLike, normalize_scenario
 
@@ -134,9 +135,12 @@ def _run_sweep_job(job: SweepJob) -> dict:
         job.scenario, design, num_steps=job.num_steps, dt=_WORKER_DT, seed=job.seed
     )
     truth = _worker_analysis(job.heldout).run(trace)
-    timer = Timer()
-    with timer.measure():
+    with obs.get_tracer().span(
+        "eval.sweep.job", heldout=job.heldout, scenario=job.scenario_label
+    ) as predict_span:
         prediction = predictor.predict_trace(trace, design)
+    obs.metrics().histogram("eval.sweep.predict_seconds").observe(predict_span.duration_s)
+    obs.flush_shard()
     threshold = design.spec.hotspot_threshold
     precision, recall = hotspot_precision_recall(
         prediction.noise_map, truth.tile_noise, threshold
@@ -154,8 +158,10 @@ def _run_sweep_job(job: SweepJob) -> dict:
         "hotspot_precision": precision,
         "hotspot_recall": recall,
         "sim_runtime_s": truth.runtime_seconds,
-        "predict_runtime_s": timer.last,
-        "speedup": truth.runtime_seconds / timer.last if timer.last > 0 else float("inf"),
+        "predict_runtime_s": predict_span.duration_s,
+        "speedup": truth.runtime_seconds / predict_span.duration_s
+        if predict_span.duration_s > 0
+        else float("inf"),
         "worker_pid": os.getpid(),
     }
 

@@ -24,14 +24,16 @@ engines (the determinism suite asserts it).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import WorstCaseNoiseNet
-from repro.core.training import LOSS_FUNCTIONS, TrainingHistory, note_epoch
+from repro.core.training import LOSS_FUNCTIONS, TrainingHistory, _observe_epoch, note_epoch
 from repro.features.extraction import FeatureNormalizer
 from repro.nn import Adam, no_grad
 from repro.nn.tensor import record_graph
@@ -241,9 +243,11 @@ class MultiDesignTrainer:
         best_state = self.model.state_dict()
         epochs_without_improvement = 0
         timer = Timer()
+        metrics = obs.metrics()
 
         with timer.measure():
             for epoch in range(config.epochs):
+                epoch_started = time.perf_counter()
                 # Per-design shuffled minibatches, then a shuffled interleave
                 # across designs; both draws come from the one seeded stream,
                 # so the schedule is a pure function of the seed.
@@ -271,6 +275,9 @@ class MultiDesignTrainer:
                     optimizer.step()
                     epoch_loss += loss.item() * len(rows)
                 epoch_loss /= num_train
+                _observe_epoch(
+                    metrics, optimizer, num_train, time.perf_counter() - epoch_started
+                )
 
                 validation_loss = self._pooled_validation_loss(
                     validation_parts, distances, loss_function

@@ -133,7 +133,7 @@ def read_json(path: Union[str, Path]) -> list[ExperimentRecord]:
 
 
 def latency_throughput_columns(
-    latencies_seconds: Sequence[float],
+    latencies_seconds,
     total_seconds: Optional[float] = None,
     vectors: Optional[int] = None,
 ) -> dict:
@@ -142,13 +142,18 @@ def latency_throughput_columns(
     Parameters
     ----------
     latencies_seconds:
-        Per-item wall-clock latencies in seconds.
+        Per-item wall-clock latencies in seconds — either a raw sequence of
+        floats, or a :class:`repro.obs.metrics.LatencyHistogram` whose
+        bucket counts already aggregate the samples (the serving stack's
+        ``serving.request_latency.*`` instruments).  Percentiles from a
+        histogram are interpolated within its buckets rather than re-sorted
+        from raw lists.
     total_seconds:
         Wall-clock span of the whole run; defaults to the sum of the
         latencies (correct for sequential execution, pass the real span for
         batched/concurrent runs).
     vectors:
-        Number of items processed; defaults to ``len(latencies_seconds)``.
+        Number of items processed; defaults to the sample count.
 
     Returns
     -------
@@ -156,16 +161,27 @@ def latency_throughput_columns(
     ``vectors_per_sec`` keys, ready to merge into an
     :class:`ExperimentRecord`'s values.
     """
-    latencies = np.asarray(latencies_seconds, dtype=float).ravel()
-    if latencies.size == 0:
-        raise ValueError("at least one latency measurement is required")
-    if np.any(latencies < 0):
-        raise ValueError("latencies must be non-negative")
-    span = float(np.sum(latencies)) if total_seconds is None else float(total_seconds)
-    count = int(latencies.size) if vectors is None else int(vectors)
+    if hasattr(latencies_seconds, "percentile") and hasattr(latencies_seconds, "total"):
+        histogram = latencies_seconds
+        if not histogram.count:
+            raise ValueError("at least one latency measurement is required")
+        span = float(histogram.total) if total_seconds is None else float(total_seconds)
+        count = int(histogram.count) if vectors is None else int(vectors)
+        p50 = float(histogram.percentile(50.0))
+        p95 = float(histogram.percentile(95.0))
+    else:
+        latencies = np.asarray(latencies_seconds, dtype=float).ravel()
+        if latencies.size == 0:
+            raise ValueError("at least one latency measurement is required")
+        if np.any(latencies < 0):
+            raise ValueError("latencies must be non-negative")
+        span = float(np.sum(latencies)) if total_seconds is None else float(total_seconds)
+        count = int(latencies.size) if vectors is None else int(vectors)
+        p50 = float(np.percentile(latencies, 50))
+        p95 = float(np.percentile(latencies, 95))
     return {
-        "p50_latency_ms": float(np.percentile(latencies, 50)) * 1e3,
-        "p95_latency_ms": float(np.percentile(latencies, 95)) * 1e3,
+        "p50_latency_ms": p50 * 1e3,
+        "p95_latency_ms": p95 * 1e3,
         "vectors_per_sec": float(count / span) if span > 0 else float("inf"),
     }
 

@@ -27,8 +27,10 @@ from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
+from repro import obs
 from repro.core.inference import NoisePredictor, PredictionResult
 from repro.features.extraction import VectorFeatures, extract_vector_features
+from repro.obs.metrics import MetricsRegistry
 from repro.pdn.designs import Design
 from repro.serving.cache import LRUCache, ScreeningPayload, trace_content_hash
 from repro.serving.registry import PredictorRegistry
@@ -62,14 +64,20 @@ class ScreeningStats:
 
 @dataclass
 class _Request:
-    """One queued unit of work."""
+    """One queued unit of work.
+
+    ``submitted_at`` is the submission timestamp captured at the top of
+    :meth:`ScreeningService.submit_async` — the single clock every latency
+    sample is measured from, regardless of which path (cache hit, coalesce,
+    batch) eventually answers the request.
+    """
 
     payload: ScreeningPayload
     design: Union[Design, str]
     key: str
     content_hash: str
     future: "Future[PredictionResult]"
-    enqueued_at: float = field(default_factory=time.perf_counter)
+    submitted_at: float = field(default_factory=time.perf_counter)
 
     @property
     def design_name(self) -> str:
@@ -135,6 +143,13 @@ class ScreeningService:
         Capacity of the LRU result cache (entries).
     latency_window:
         Number of recent per-request latencies retained for reporting.
+    metrics:
+        Metrics registry the service reports into; defaults to the
+        process-global :func:`repro.obs.metrics` registry (a no-op registry
+        when observability is disabled).  Pass a private live
+        :class:`~repro.obs.metrics.MetricsRegistry` to collect latency
+        histograms regardless of the global toggle — the evaluation
+        protocol does exactly that.
     """
 
     def __init__(
@@ -144,6 +159,7 @@ class ScreeningService:
         max_wait: float = 2e-3,
         cache_size: int = 1024,
         latency_window: int = 4096,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         check_positive(max_batch, "max_batch")
         check_positive(max_wait, "max_wait", strict=False)
@@ -152,6 +168,22 @@ class ScreeningService:
         self.max_wait = float(max_wait)
         self.cache: LRUCache[PredictionResult] = LRUCache(cache_size)
         self.stats = ScreeningStats()
+        # Instrument handles are resolved once here so the hot paths pay one
+        # bound-method call each; with a disabled registry they are shared
+        # no-op objects (gated by benchmarks/bench_obs.py).
+        self.metrics = metrics if metrics is not None else obs.metrics()
+        self._m_requests = self.metrics.counter("serving.requests")
+        self._m_cache_hits = self.metrics.counter("serving.cache_hits")
+        self._m_coalesced = self.metrics.counter("serving.coalesced")
+        self._m_failures = self.metrics.counter("serving.failures")
+        self._m_model_batches = self.metrics.counter("serving.model_batches")
+        self._m_batched_vectors = self.metrics.counter("serving.batched_vectors")
+        self._m_queue_depth = self.metrics.gauge("serving.queue_depth")
+        self._m_batch_size = self.metrics.gauge("serving.batch_size")
+        self._m_latency = {
+            path: self.metrics.histogram(f"serving.request_latency.{path}")
+            for path in ("cache_hit", "coalesced", "batched")
+        }
         self._queue: "queue.Queue" = queue.Queue()
         self._pending: dict[str, "Future[PredictionResult]"] = {}
         # Guards cache/pending/stats/latencies and the closed flag.  The
@@ -204,9 +236,11 @@ class ScreeningService:
             if self._closed:
                 raise RuntimeError("service is closed")
             self.stats.requests += 1
+            self._m_requests.inc()
             cached = self.cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
+                self._m_cache_hits.inc()
                 future: "Future[PredictionResult]" = Future()
                 # Fresh map copy (callers may mutate their result) and the
                 # *submitter's* vector name — the key ignores names, so the
@@ -219,7 +253,9 @@ class ScreeningService:
                         name=getattr(payload, "name", ""),
                     )
                 )
-                self._latencies.append(time.perf_counter() - started)
+                elapsed = time.perf_counter() - started
+                self._latencies.append(elapsed)
+                self._m_latency["cache_hit"].observe(elapsed)
                 return future
             in_flight = self._pending.get(key)
             if in_flight is not None and not in_flight.cancelled():
@@ -230,6 +266,7 @@ class ScreeningService:
                 # already *cancelled* here is not coalesced onto; the fresh
                 # request below simply replaces it in the pending map.
                 self.stats.coalesced += 1
+                self._m_coalesced.inc()
                 coalesce_onto = in_flight
             else:
                 future = Future()
@@ -241,8 +278,10 @@ class ScreeningService:
                         key=key,
                         content_hash=content_hash,
                         future=future,
+                        submitted_at=started,
                     )
                 )
+                self._m_queue_depth.set(self._queue.qsize())
         if coalesce_onto is not None:
             # Built OUTSIDE the lock: if the primary is already done, these
             # done-callbacks run inline right here, and _record_latency takes
@@ -250,7 +289,7 @@ class ScreeningService:
             # primary was cancelled after the check above, the cancellation
             # propagates to this caller as well.
             derived = _derived_future(coalesce_onto, getattr(payload, "name", ""))
-            derived.add_done_callback(lambda _: self._record_latency(started))
+            derived.add_done_callback(lambda _: self._record_latency(started, "coalesced"))
             return derived
         return future
 
@@ -270,13 +309,21 @@ class ScreeningService:
     # ------------------------------------------------------------------ #
 
     def latencies(self) -> list[float]:
-        """Recent per-request latencies in seconds (submission to result)."""
+        """Recent per-request latencies in seconds (submission to result).
+
+        All three answer paths (cache hit, coalesce, batch) measure from the
+        same submission timestamp, so samples are comparable; the per-path
+        split lives in the ``serving.request_latency.*`` histograms of
+        :attr:`metrics`.
+        """
         with self._lock:
             return list(self._latencies)
 
-    def _record_latency(self, started: float) -> None:
+    def _record_latency(self, started: float, path: str) -> None:
+        elapsed = time.perf_counter() - started
         with self._lock:
-            self._latencies.append(time.perf_counter() - started)
+            self._latencies.append(elapsed)
+            self._m_latency[path].observe(elapsed)
 
     def close(self) -> None:
         """Stop the worker; pending requests are still drained first."""
@@ -329,6 +376,7 @@ class ScreeningService:
             except Exception as error:  # noqa: BLE001 - forwarded to callers
                 with self._lock:
                     self.stats.failures += len(requests)
+                    self._m_failures.inc(len(requests))
                     for request in requests:
                         self._pending.pop(request.key, None)
                 for request in requests:
@@ -356,6 +404,10 @@ class ScreeningService:
             self.stats.model_batches += 1
             self.stats.batched_vectors += len(requests)
             self.stats.max_batch_observed = max(self.stats.max_batch_observed, len(requests))
+            self._m_model_batches.inc()
+            self._m_batched_vectors.inc(len(requests))
+            self._m_batch_size.set(len(requests))
+            batched_latency = self._m_latency["batched"]
             for request, result in zip(requests, results):
                 # Store a private copy so a caller mutating its returned map
                 # cannot poison later cache hits.  The storage key uses the
@@ -365,7 +417,9 @@ class ScreeningService:
                 store_key = f"{predictor.fingerprint}:{request.content_hash}"
                 self.cache.put(store_key, replace(result, noise_map=result.noise_map.copy()))
                 self._pending.pop(request.key, None)
-                self._latencies.append(finished - request.enqueued_at)
+                elapsed = finished - request.submitted_at
+                self._latencies.append(elapsed)
+                batched_latency.observe(elapsed)
         for request, result in zip(requests, results):
             # A caller may have cancelled its pending future (e.g. after a
             # result(timeout) expiry); that must not derail the rest of the

@@ -28,7 +28,8 @@ import numpy as np
 from repro.io.results import ExperimentRecord
 from repro.pdn.designs import Design, design_from_name
 from repro.serving.registry import PredictorRegistry
-from repro.utils import Timer, get_logger
+from repro import obs
+from repro.utils import get_logger
 from repro.workloads.scenarios import build_scenario_trace
 from repro.workloads.specs import ScenarioLike, normalize_scenario
 
@@ -103,9 +104,12 @@ def _run_job(job: ScenarioJob) -> dict:
     trace = build_scenario_trace(
         job.scenario, design, num_steps=job.num_steps, dt=job.dt, seed=job.seed
     )
-    timer = Timer()
-    with timer.measure():
+    with obs.get_tracer().span(
+        "serving.sweep.job", design=job.design, scenario=job.scenario_label
+    ) as predict_span:
         result = predictor.predict_trace(trace, design)
+    obs.metrics().histogram("serving.sweep.predict_seconds").observe(predict_span.duration_s)
+    obs.flush_shard()
     hotspots = result.hotspot_map(design.spec.hotspot_threshold)
     return {
         "design": job.design,
@@ -113,7 +117,7 @@ def _run_job(job: ScenarioJob) -> dict:
         "worst_noise_v": result.worst_noise,
         "mean_noise_v": float(np.mean(result.noise_map)),
         "hotspot_fraction": float(np.mean(hotspots)),
-        "runtime_s": timer.last,
+        "runtime_s": predict_span.duration_s,
         "worker_pid": os.getpid(),
     }
 

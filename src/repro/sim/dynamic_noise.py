@@ -19,6 +19,7 @@ import numpy as np
 from repro.pdn.designs import Design
 from repro.sim.transient import TransientEngine, TransientOptions, TransientResult
 from repro.sim.waveform import CurrentTrace, per_tile_maximum
+from repro import obs
 from repro.utils import Timer, check_positive, get_logger
 
 _LOG = get_logger("sim.dynamic_noise")
@@ -133,6 +134,7 @@ class DynamicNoiseAnalysis:
             transient: TransientResult = self._engine.run(trace)
             result = self._reduce(transient, 0.0)
         result.runtime_seconds = timer.last
+        obs.metrics().histogram("sim.analysis_seconds").observe(timer.last)
         _LOG.debug(
             "dynamic noise on %s: worst=%.1f mV, hotspot ratio=%.1f%%, %.2f s",
             self._design.name,
@@ -178,6 +180,7 @@ class DynamicNoiseAnalysis:
             transients = self._engine.run_many(traces, batch_size=batch_size)
             share = 0.0
             results = [self._reduce(transient, share) for transient in transients]
+        obs.metrics().histogram("sim.analysis_seconds").observe(timer.last)
         share = timer.last / len(traces)
         for result in results:
             result.runtime_seconds = share

@@ -13,12 +13,14 @@ used to validate accuracy) are provided.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.pdn.stamps import INDUCTOR_SHORT_RESISTANCE, REFERENCE_NODE, MNASystem
 from repro.sim.linear import LinearSolver, make_solver
 from repro.sim.waveform import CurrentTrace, VoltageWaveform
@@ -125,7 +127,13 @@ class TransientEngine:
 
         system = mna.conductance_with_inductor_branches(self._ind_companion)
         system = system + sp.diags(self._cap_companion, format="csc")
+        factor_started = time.perf_counter()
         self._solver: LinearSolver = make_solver(system.tocsc(), options.solver_method)
+        # The factor/solve split: building the engine pays the (single)
+        # sparse factorisation; every run() afterwards is back-substitution.
+        obs.metrics().histogram("sim.factor_seconds").observe(
+            time.perf_counter() - factor_started
+        )
 
         # Static solver for DC initial conditions (built lazily).
         self._static_solver: Optional[LinearSolver] = None
@@ -207,6 +215,7 @@ class TransientEngine:
         depends on it).
         """
         self._check_trace(trace)
+        solve_started = time.perf_counter()
 
         mna = self._mna
         options = self._options
@@ -268,6 +277,9 @@ class TransientEngine:
         waveform = None
         if stored is not None:
             waveform = VoltageWaveform(np.vstack(stored), self._dt)
+        obs.metrics().histogram("sim.solve_seconds").observe(
+            time.perf_counter() - solve_started
+        )
         return TransientResult(
             max_droop_per_node=max_droop,
             final_droop=droop,
@@ -341,6 +353,7 @@ class TransientEngine:
 
     def _run_block(self, traces: list[CurrentTrace]) -> list[TransientResult]:
         """Lockstep integration of equal-length traces (one column each)."""
+        solve_started = time.perf_counter()
         mna = self._mna
         options = self._options
         num_nodes = mna.num_nodes
@@ -429,6 +442,9 @@ class TransientEngine:
             if stored is not None:
                 stored.append(droop.copy())
 
+        obs.metrics().histogram("sim.solve_seconds").observe(
+            time.perf_counter() - solve_started
+        )
         results = []
         for column in range(num_traces):
             waveform = None

@@ -1,0 +1,63 @@
+"""Shared conventions of resumable on-disk artefacts.
+
+Every resumable artefact in the repository — corpus manifests, evaluation
+reports, sweep manifests, golden baselines, observability run reports —
+follows the same two conventions: files are written atomically (temp file +
+``os.replace``) so a reader can never observe a torn artefact, and each
+artefact stamps the git revision of the generating code for provenance.
+Both helpers lived in :mod:`repro.datagen.shards` historically (which still
+re-exports them); they are housed here so layers below the datagen stack,
+notably :mod:`repro.obs`, can share them without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "git_revision"]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write a text file atomically (temp file in-directory + replace).
+
+    The write convention every resumable artefact in the repository follows
+    (corpus manifests, evaluation reports, sweep manifests, baselines,
+    observability run reports): a reader can never observe a torn file, and
+    a killed writer leaves only a stray ``*.tmp-<pid>`` behind.
+    """
+    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    temporary.write_text(text)
+    os.replace(temporary, path)
+
+
+def git_revision(repo_root: Union[str, Path, None] = None) -> str:
+    """Best-effort git revision of the generating code.
+
+    Parameters
+    ----------
+    repo_root:
+        Directory to resolve the revision in; defaults to this file's
+        repository checkout.
+
+    Returns
+    -------
+    The full commit hash, or ``"unknown"`` when git (or the checkout) is
+    unavailable — artefact generation never fails for provenance reasons.
+    """
+    if repo_root is None:
+        repo_root = Path(__file__).resolve().parent
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(repo_root), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else "unknown"

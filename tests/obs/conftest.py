@@ -1,0 +1,21 @@
+"""Fixtures for the observability suite.
+
+The :mod:`repro.obs` package keeps process-global state (registry, tracer,
+active run, the ``REPRO_OBS``/``REPRO_OBS_DIR`` environment toggles).  Every
+test in this suite runs between two :func:`repro.obs.reset` calls so no test
+can leak an enabled context — or an active run — into its neighbours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def pristine_obs():
+    """Reset the global observability context around every test."""
+    obs.reset()
+    yield
+    obs.reset()

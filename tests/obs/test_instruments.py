@@ -1,0 +1,218 @@
+"""Metric instruments: counters, gauges, and the fixed-bucket histogram.
+
+The load-bearing contract is the histogram: percentiles extracted from the
+log-spaced buckets must track ``numpy.percentile`` on the raw samples to
+within the bucket resolution (~10% relative width at the default 24 buckets
+per decade), and bucket-wise merging must be *exact* — a histogram merged
+from split sample sets is indistinguishable from one that observed them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import NULL_REGISTRY, Counter, Gauge, LatencyHistogram, MetricsRegistry
+
+#: Bucket width at the default resolution: 10^(1/24) ≈ 1.10, so interpolated
+#: percentiles can be off by at most one bucket — 10% relative.
+BUCKET_RTOL = 0.10
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        counter = Counter("events")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_dict() == {"type": "counter", "value": 5}
+
+    def test_merge_adds(self):
+        first, second = Counter("events"), Counter("events")
+        first.inc(3)
+        second.inc(7)
+        first.merge(second.to_dict())
+        assert first.value == 10
+
+
+class TestGauge:
+    def test_tracks_last_and_extremes(self):
+        gauge = Gauge("queue_depth")
+        for value in (4.0, 9.0, 1.0):
+            gauge.set(value)
+        assert gauge.last == 1.0
+        assert gauge.min == 1.0
+        assert gauge.max == 9.0
+        assert gauge.count == 3
+
+    def test_empty_snapshot_has_neutral_extremes(self):
+        payload = Gauge("queue_depth").to_dict()
+        assert payload == {"type": "gauge", "last": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+
+    def test_merge_widens_extremes_and_skips_empty(self):
+        gauge = Gauge("depth")
+        gauge.set(5.0)
+        other = Gauge("depth")
+        other.set(2.0)
+        other.set(11.0)
+        gauge.merge(other.to_dict())
+        assert (gauge.min, gauge.max, gauge.count, gauge.last) == (2.0, 11.0, 3, 11.0)
+        gauge.merge(Gauge("depth").to_dict())  # empty payload: no effect
+        assert gauge.count == 3
+
+    def test_merge_into_empty_gauge(self):
+        gauge = Gauge("depth")
+        other = Gauge("depth")
+        other.set(3.0)
+        gauge.merge(other.to_dict())
+        assert (gauge.min, gauge.max, gauge.count) == (3.0, 3.0, 1)
+
+
+class TestHistogramPercentiles:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_percentiles_track_numpy_on_lognormal_latencies(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.lognormal(mean=np.log(2e-3), sigma=0.9, size=4000)
+        histogram = LatencyHistogram("latency")
+        for value in samples:
+            histogram.observe(float(value))
+        for q in (50.0, 90.0, 95.0, 99.0):
+            exact = float(np.percentile(samples, q))
+            approx = histogram.percentile(q)
+            assert approx == pytest.approx(exact, rel=BUCKET_RTOL)
+
+    def test_exact_aggregates(self):
+        samples = [1e-3, 4e-3, 2e-3, 9e-3]
+        histogram = LatencyHistogram("latency")
+        for value in samples:
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(sum(samples))
+        assert histogram.mean == pytest.approx(np.mean(samples))
+        assert histogram.min == min(samples)
+        assert histogram.max == max(samples)
+
+    def test_extreme_ranks_clamp_to_exact_min_max(self):
+        histogram = LatencyHistogram("latency")
+        for value in (1.1e-3, 2.2e-3, 3.3e-3):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == 1.1e-3
+        assert histogram.percentile(100.0) == 3.3e-3
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LatencyHistogram("latency").percentile(50.0)
+
+    def test_out_of_range_rank_raises(self):
+        histogram = LatencyHistogram("latency")
+        histogram.observe(1e-3)
+        with pytest.raises(ValueError, match="0, 100"):
+            histogram.percentile(101.0)
+
+    def test_under_and_overflow_are_counted(self):
+        histogram = LatencyHistogram("latency", low=1e-6, high=1.0)
+        histogram.observe(1e-9)   # below low
+        histogram.observe(10.0)   # at/above high
+        histogram.observe(1e-3)
+        assert histogram.underflow == 1
+        assert histogram.overflow == 1
+        assert histogram.count == 3
+        # Extremes stay exact even for out-of-range samples.
+        assert histogram.percentile(0.0) == 1e-9
+        assert histogram.percentile(100.0) == 10.0
+
+    def test_summary_payload(self):
+        histogram = LatencyHistogram("latency")
+        assert LatencyHistogram("empty").summary() == {"count": 0}
+        for value in np.linspace(1e-3, 5e-3, 32):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 32
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99", "min", "max"}
+
+
+class TestHistogramMerge:
+    def test_merge_of_split_samples_is_exact(self):
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=np.log(1e-3), sigma=1.2, size=1000)
+        whole = LatencyHistogram("latency")
+        left, right = LatencyHistogram("latency"), LatencyHistogram("latency")
+        for index, value in enumerate(samples):
+            whole.observe(float(value))
+            (left if index % 2 else right).observe(float(value))
+        left.merge(right)  # object form
+        merged_payload, whole_payload = left.to_dict(), whole.to_dict()
+        # Totals are float sums, so the summation *order* leaks into the last
+        # bits; everything discrete (buckets, counts, extremes) is exact.
+        assert merged_payload.pop("total") == pytest.approx(whole_payload.pop("total"))
+        assert merged_payload == whole_payload
+        for q in (50.0, 95.0, 99.0):
+            assert left.percentile(q) == whole.percentile(q)
+
+    def test_merge_accepts_snapshot_dict(self):
+        first, second = LatencyHistogram("latency"), LatencyHistogram("latency")
+        first.observe(1e-3)
+        second.observe(2e-3)
+        first.merge(second.to_dict())
+        assert first.count == 2
+
+    def test_layout_mismatch_raises(self):
+        default = LatencyHistogram("latency")
+        coarse = LatencyHistogram("latency", buckets_per_decade=4)
+        with pytest.raises(ValueError, match="bucket layout"):
+            default.merge(coarse)
+
+    def test_merging_empty_histogram_is_noop(self):
+        histogram = LatencyHistogram("latency")
+        histogram.observe(1e-3)
+        before = histogram.to_dict()
+        histogram.merge(LatencyHistogram("latency"))
+        assert histogram.to_dict() == before
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.get("a") is registry.counter("a")
+        assert registry.get("missing") is None
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("metric")
+
+    def test_disabled_registry_hands_out_shared_noops(self):
+        assert not NULL_REGISTRY.enabled
+        counter = NULL_REGISTRY.counter("serving.requests")
+        counter.inc(100)
+        assert counter.value == 0
+        assert NULL_REGISTRY.counter("other") is counter
+        NULL_REGISTRY.gauge("g").set(5.0)
+        NULL_REGISTRY.histogram("h").observe(1e-3)
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_snapshot_merge_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("requests").inc(5)
+        source.gauge("depth").set(3.0)
+        source.histogram("latency").observe(2e-3)
+        target = MetricsRegistry()
+        target.counter("requests").inc(1)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("requests").value == 6
+        assert target.gauge("depth").count == 1
+        assert target.histogram("latency").count == 1
+        assert target.names() == ["depth", "latency", "requests"]
+
+    def test_merge_snapshot_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})
+
+    def test_iteration_is_name_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        assert [name for name, _ in registry] == ["aa", "zz"]

@@ -1,0 +1,156 @@
+"""Event-shard sink: round trips, deterministic merges, the report stamp.
+
+The merge determinism test here carries the pool-vs-inline guarantee at the
+byte level: the same logical telemetry, sharded the way a worker pool shards
+it and written in any filesystem order, must render to a byte-identical
+``run_report.json``.  (The end-to-end pool runs live in ``test_run.py``;
+real wall-clock durations differ between runs, so the byte-level contract is
+pinned here with controlled event values, exactly like the manifest-content
+comparison in ``tests/datagen/test_determinism.py``.)
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RUN_REPORT_NAME,
+    SpanTracer,
+    build_run_report,
+    config_hash,
+    load_run_report,
+    merge_shards,
+    read_event_shard,
+    write_event_shard,
+    write_run_report,
+)
+from repro.obs.sink import REPORT_VERSION, shard_path
+
+
+def worker_registry(generated: int, latencies) -> MetricsRegistry:
+    """A registry shaped like one datagen worker's telemetry."""
+    registry = MetricsRegistry()
+    registry.counter("datagen.shards_generated").inc(generated)
+    registry.gauge("datagen.queue_depth").set(float(generated))
+    for value in latencies:
+        registry.histogram("datagen.shard_seconds").observe(value)
+    return registry
+
+
+class TestShardRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        registry = worker_registry(2, [0.5, 0.25])
+        tracer = SpanTracer()
+        with tracer.span("datagen.shard", label="small"):
+            pass
+        path = write_event_shard(tmp_path, "w1", registry, tracer)
+        assert path == shard_path(tmp_path, "w1")
+        shard = read_event_shard(path)
+        assert shard["label"] == "w1"
+        assert shard["metrics"]["datagen.shards_generated"]["value"] == 2
+        [span] = shard["spans"]
+        assert span["name"] == "datagen.shard"
+
+    def test_reflush_overwrites_instead_of_appending(self, tmp_path):
+        registry = worker_registry(1, [0.5])
+        write_event_shard(tmp_path, "w1", registry)
+        registry.counter("datagen.shards_generated").inc()
+        write_event_shard(tmp_path, "w1", registry)  # cumulative re-flush
+        merged = merge_shards(tmp_path)
+        assert merged["metrics"].counter("datagen.shards_generated").value == 2
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "events-broken.jsonl"
+        path.write_text(json.dumps({"kind": "metric", "name": "x", "type": "counter", "value": 1}) + "\n")
+        with pytest.raises(ValueError, match="missing shard header"):
+            read_event_shard(path)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = tmp_path / "events-broken.jsonl"
+        path.write_text(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ValueError, match="unknown event kind"):
+            read_event_shard(path)
+
+
+class TestMerge:
+    def test_counters_and_histograms_add_across_shards(self, tmp_path):
+        write_event_shard(tmp_path, "w1", worker_registry(2, [0.5, 0.25]))
+        write_event_shard(tmp_path, "w2", worker_registry(3, [1.0]))
+        merged = merge_shards(tmp_path)
+        registry = merged["metrics"]
+        assert registry.counter("datagen.shards_generated").value == 5
+        histogram = registry.histogram("datagen.shard_seconds")
+        assert histogram.count == 3
+        assert histogram.max == 1.0
+        assert merged["shards"] == ["w1", "w2"]
+
+    def test_spans_stay_grouped_per_shard_label(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("datagen.shard"):
+            pass
+        write_event_shard(tmp_path, "main", MetricsRegistry(), tracer)
+        write_event_shard(tmp_path, "w1", worker_registry(1, []), tracer)
+        merged = merge_shards(tmp_path)
+        assert set(merged["spans"]) == {"main", "w1"}
+
+    def test_pool_sharded_writes_merge_byte_identical_in_any_order(self, tmp_path):
+        """The byte-level pool-vs-inline contract (controlled event values)."""
+        shards = {
+            "main": worker_registry(0, []),
+            "w1001": worker_registry(2, [0.5, 0.25]),
+            "w1002": worker_registry(3, [1.0, 0.125, 2.0]),
+        }
+        config = {"budget": "smoke", "seed": 3}
+        first_dir, second_dir = tmp_path / "a", tmp_path / "b"
+        for label in ("main", "w1001", "w1002"):  # creation order A
+            write_event_shard(first_dir, label, shards[label])
+        for label in ("w1002", "main", "w1001"):  # creation order B
+            write_event_shard(second_dir, label, shards[label])
+        first = write_run_report(first_dir, config=config)
+        second = write_run_report(second_dir, config=config)
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestRunReport:
+    def test_report_is_config_hash_stamped(self, tmp_path):
+        write_event_shard(tmp_path, "main", worker_registry(1, [0.5]))
+        config = {"budget": "smoke"}
+        report = build_run_report(tmp_path, config=config)
+        assert report["version"] == REPORT_VERSION
+        assert report["config_hash"] == config_hash(config)
+        assert report["config"] == config
+        assert report["shards"] == ["main"]
+
+    def test_histograms_carry_a_summary_block(self, tmp_path):
+        write_event_shard(tmp_path, "main", worker_registry(1, [0.5, 0.25]))
+        report = build_run_report(tmp_path)
+        summary = report["metrics"]["datagen.shard_seconds"]["summary"]
+        assert summary["count"] == 2
+        assert "p95" in summary
+
+    def test_extra_keys_embed_but_collisions_raise(self, tmp_path):
+        write_event_shard(tmp_path, "main", MetricsRegistry())
+        report = build_run_report(tmp_path, extra={"campaign": "x"})
+        assert report["campaign"] == "x"
+        with pytest.raises(ValueError, match="collide"):
+            build_run_report(tmp_path, extra={"metrics": {}})
+
+    def test_load_accepts_file_or_directory(self, tmp_path):
+        write_event_shard(tmp_path, "main", MetricsRegistry())
+        path = write_run_report(tmp_path, config={"a": 1})
+        assert path.name == RUN_REPORT_NAME
+        assert load_run_report(path) == load_run_report(tmp_path)
+
+    def test_load_rejects_newer_versions(self, tmp_path):
+        path = tmp_path / RUN_REPORT_NAME
+        path.write_text(json.dumps({"version": REPORT_VERSION + 1}))
+        with pytest.raises(ValueError, match="version"):
+            load_run_report(path)
+
+    def test_config_hash_matches_canonical_json_convention(self):
+        assert config_hash({"b": 1, "a": 2}) == config_hash({"a": 2, "b": 1})
+        assert config_hash(None) == config_hash({})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
