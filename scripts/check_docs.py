@@ -8,8 +8,8 @@ Three checks, any failure exits non-zero:
    directory (external ``http(s)``/``mailto`` links and pure ``#anchors``
    are skipped).
 2. **Docstring coverage** — every public symbol of ``repro.serving``,
-   ``repro.datagen``, ``repro.core.training``, ``repro.eval`` and
-   ``repro.workloads`` (each
+   ``repro.gateway``, ``repro.datagen``, ``repro.core.training``,
+   ``repro.eval``, ``repro.obs`` and ``repro.workloads`` (each
    ``__all__`` export plus the public methods/properties of exported
    classes) must carry a docstring; the build fails below the threshold
    (default 1.0 — the sweep is complete, keep it that way).
@@ -37,11 +37,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Markdown files whose links are validated.
 LINKED_FILES = ("README.md", "DESIGN.md", "docs/api.md", "docs/data-pipeline.md",
                 "docs/tutorial.md", "docs/evaluation.md", "docs/workloads.md",
-                "docs/observability.md")
+                "docs/observability.md", "docs/serving.md")
 
 #: Packages / modules whose public symbols must be documented.
 COVERED_PACKAGES = ("repro.serving", "repro.datagen", "repro.core.training",
-                    "repro.eval", "repro.workloads", "repro.obs")
+                    "repro.eval", "repro.workloads", "repro.obs", "repro.gateway")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 

@@ -29,7 +29,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Packages documented in the reference, in page order.
 DOCUMENTED_PACKAGES = (
     "repro.core", "repro.workloads", "repro.datagen", "repro.serving",
-    "repro.eval", "repro.obs",
+    "repro.gateway", "repro.eval", "repro.obs",
 )
 
 HEADER = """\
@@ -37,16 +37,18 @@ HEADER = """\
 
 Public API of the prediction framework (`repro.core`), the workload layer
 (`repro.workloads`), the dataset factory (`repro.datagen`), the serving
-layer (`repro.serving`), the cross-design evaluation harness
-(`repro.eval`) and the telemetry substrate (`repro.obs`).
+layer (`repro.serving`), the screening gateway (`repro.gateway`), the
+cross-design evaluation harness (`repro.eval`) and the telemetry substrate
+(`repro.obs`).
 
 **This file is generated** from the package docstrings by
 `python scripts/gen_api_docs.py`; edit the docstrings, not this file — CI
 fails when the two drift apart.  See `docs/tutorial.md` for a guided tour,
 `docs/data-pipeline.md` for the on-disk corpus contract,
 `docs/workloads.md` for the scenario library,
-`docs/evaluation.md` for the evaluation protocols and baseline workflow and
-`docs/observability.md` for metric/span naming and the run-report format.
+`docs/evaluation.md` for the evaluation protocols and baseline workflow,
+`docs/observability.md` for metric/span naming and the run-report format
+and `docs/serving.md` for the serving stack and gateway front door.
 """
 
 

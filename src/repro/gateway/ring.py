@@ -1,0 +1,96 @@
+"""Consistent hashing of design names onto worker shards.
+
+The gateway routes every request for one design to the *same* shard so that
+shard's :class:`~repro.serving.registry.PredictorRegistry` keeps the design's
+checkpoint warm in its LRU.  A consistent-hash ring (virtual nodes hashed
+onto a circle, keys assigned to the next node clockwise) gives that mapping
+two properties a plain ``hash(design) % shards`` would not:
+
+* **Stability under resizing** — adding or removing one shard remaps only
+  ``~1/N`` of the designs, so a restarted deployment with a different shard
+  count keeps most LRU partitions warm.
+* **Smoothness** — virtual nodes (``replicas`` points per shard) spread the
+  key space evenly even for small shard counts.
+
+Hashing is SHA-256-based and therefore deterministic across processes and
+Python runs (no ``PYTHONHASHSEED`` dependence) — the same design always
+lands on the same shard of an identically configured ring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Sequence
+
+from repro.utils import check_positive
+
+
+def _point(token: str) -> int:
+    """Position of a token on the ring (stable 64-bit hash)."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Deterministic key → node assignment with minimal-movement resizing.
+
+    Parameters
+    ----------
+    nodes:
+        Initial node identifiers (e.g. shard indices).  Order is irrelevant;
+        the ring layout depends only on the node identifiers themselves.
+    replicas:
+        Virtual nodes per physical node.  More replicas smooth the key
+        distribution at the cost of a larger (still tiny) ring table.
+    """
+
+    def __init__(self, nodes: Sequence[Hashable] = (), replicas: int = 64):
+        check_positive(replicas, "replicas")
+        self.replicas = int(replicas)
+        self._points: list[int] = []
+        self._owners: list[Hashable] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> tuple:
+        """The ring's physical nodes, sorted by repr for determinism."""
+        return tuple(sorted(self._nodes, key=repr))
+
+    def add(self, node: Hashable) -> None:
+        """Insert a node (no-op when already present)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _point(f"{node!r}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: Hashable) -> None:
+        """Remove a node; its keys fall to their clockwise successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    def assign(self, key: str) -> Hashable:
+        """The node owning ``key`` (first virtual node clockwise of its hash)."""
+        if not self._nodes:
+            raise ValueError("cannot assign a key on an empty ring")
+        point = _point(f"key:{key}")
+        index = bisect.bisect(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]

@@ -1,0 +1,161 @@
+"""Stdlib asyncio TCP front door speaking newline-delimited JSON.
+
+:class:`GatewayServer` exposes a :class:`~repro.gateway.gateway.ScreeningGateway`
+over a socket so screening clients do not need the Python stack in-process.
+The protocol is deliberately boring — one JSON object per line in, one JSON
+object per line out, connections stay open for pipelining:
+
+Request objects::
+
+    {"design": "D1@0.2", "scenario": "resonance_chirp",
+     "num_steps": 200, "dt": 1e-11, "seed": 7}        # screen a scenario
+    {"design": "D1@0.2", "scenario": {"family": "didt_step_train",
+     "params": {...}}}                                  # parameterised spec
+    {"op": "health"}                                    # health snapshot
+    {"op": "swap", "design": "D1@0.2"}                  # reload from disk
+
+Responses always carry ``ok``.  Successful screens report the worst/mean
+noise and the gateway-measured latency; overload maps to
+``{"ok": false, "error": "overloaded", "retry_after_s": ...}`` so clients
+can implement honest backoff.  Scenario payloads only — test vectors are
+megabytes of samples and belong in shared corpus storage, not on this
+control-plane socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.gateway.gateway import ScreeningGateway
+from repro.gateway.messages import GatewayClosed, GatewayOverloaded
+from repro.utils import get_logger
+from repro.workloads.specs import ScenarioSpec
+
+_LOG = get_logger("gateway.server")
+
+
+class GatewayServer:
+    """Serve a gateway over TCP (newline-delimited JSON).
+
+    Parameters
+    ----------
+    gateway:
+        The :class:`ScreeningGateway` answering the requests.
+    host / port:
+        Bind address.  Port ``0`` (the default) lets the OS pick a free
+        port; read the bound address off :attr:`address` after
+        :meth:`start`.
+    """
+
+    def __init__(self, gateway: ScreeningGateway, host: str = "127.0.0.1", port: int = 0):
+        self.gateway = gateway
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        host, port = self.address
+        _LOG.info("gateway server listening on %s:%d", host, port)
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        """One client connection: JSON object per line, pipelined."""
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        """Parse one request line and produce its response object."""
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as error:
+            return {"ok": False, "error": f"malformed request: {error}"}
+        op = payload.get("op", "screen")
+        try:
+            if op == "health":
+                return {"ok": True, "health": self.gateway.health()}
+            if op == "swap":
+                fingerprint = await self.gateway.swap(str(payload["design"]))
+                return {"ok": True, "design": payload["design"], "fingerprint": fingerprint}
+            if op == "screen":
+                return await self._screen(payload)
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except GatewayOverloaded as error:
+            return {
+                "ok": False,
+                "error": "overloaded",
+                "retry_after_s": error.retry_after_s,
+            }
+        except GatewayClosed:
+            return {"ok": False, "error": "closed"}
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    async def _screen(self, payload: dict) -> dict:
+        """Handle one screening request."""
+        design = str(payload["design"])
+        scenario = payload["scenario"]
+        if isinstance(scenario, dict):
+            scenario = ScenarioSpec.from_dict(scenario)
+        result = await self.gateway.submit(
+            scenario,
+            design,
+            num_steps=int(payload.get("num_steps", 200)),
+            dt=float(payload.get("dt", 1e-11)),
+            seed=int(payload.get("seed", 0)),
+        )
+        return {
+            "ok": True,
+            "design": design,
+            "name": result.name,
+            "worst_noise_v": float(result.worst_noise),
+            "mean_noise_v": float(np.mean(result.noise_map)),
+            "latency_ms": float(result.runtime_seconds) * 1e3,
+        }

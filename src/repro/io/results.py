@@ -157,8 +157,8 @@ def latency_throughput_columns(
 
     Returns
     -------
-    Mapping with ``p50_latency_ms``, ``p95_latency_ms`` and
-    ``vectors_per_sec`` keys, ready to merge into an
+    Mapping with ``p50_latency_ms``, ``p95_latency_ms``, ``p99_latency_ms``
+    and ``vectors_per_sec`` keys, ready to merge into an
     :class:`ExperimentRecord`'s values.
     """
     if hasattr(latencies_seconds, "percentile") and hasattr(latencies_seconds, "total"):
@@ -169,6 +169,7 @@ def latency_throughput_columns(
         count = int(histogram.count) if vectors is None else int(vectors)
         p50 = float(histogram.percentile(50.0))
         p95 = float(histogram.percentile(95.0))
+        p99 = float(histogram.percentile(99.0))
     else:
         latencies = np.asarray(latencies_seconds, dtype=float).ravel()
         if latencies.size == 0:
@@ -179,9 +180,11 @@ def latency_throughput_columns(
         count = int(latencies.size) if vectors is None else int(vectors)
         p50 = float(np.percentile(latencies, 50))
         p95 = float(np.percentile(latencies, 95))
+        p99 = float(np.percentile(latencies, 99))
     return {
         "p50_latency_ms": p50 * 1e3,
         "p95_latency_ms": p95 * 1e3,
+        "p99_latency_ms": p99 * 1e3,
         "vectors_per_sec": float(count / span) if span > 0 else float("inf"),
     }
 

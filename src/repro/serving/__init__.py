@@ -23,7 +23,7 @@ from repro.serving.cache import (
     trace_content_hash,
 )
 from repro.serving.registry import PredictorRegistry, RegistryStats
-from repro.serving.service import ScreeningService, ScreeningStats
+from repro.serving.service import ScreeningService, ScreeningStats, ServiceClosed
 from repro.serving.sweep import (
     ScenarioJob,
     default_design_factory,
@@ -39,6 +39,7 @@ __all__ = [
     "RegistryStats",
     "ScreeningService",
     "ScreeningStats",
+    "ServiceClosed",
     "ScenarioJob",
     "default_design_factory",
     "screen_scenarios",

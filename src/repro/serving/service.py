@@ -39,6 +39,18 @@ from repro.utils import check_positive, get_logger
 _LOG = get_logger("serving.service")
 
 
+class ServiceClosed(RuntimeError):
+    """The service shut down before (or while) a request could be answered.
+
+    Raised synchronously by :meth:`ScreeningService.submit_async` once the
+    service is closed, and set on every future that was still queued when
+    the worker exited — a caller blocked on ``future.result()`` therefore
+    always gets an answer or this error, never a hang.  Subclasses
+    :class:`RuntimeError` so pre-existing ``except RuntimeError`` callers
+    keep working.
+    """
+
+
 @dataclass
 class ScreeningStats:
     """Aggregate counters of a :class:`ScreeningService`."""
@@ -194,6 +206,7 @@ class ScreeningService:
         self._lock = threading.Lock()
         self._latencies: deque[float] = deque(maxlen=int(latency_window))
         self._closed = False
+        self._abandon = False
         self._worker = threading.Thread(
             target=self._run_worker, name="screening-service", daemon=True
         )
@@ -234,7 +247,7 @@ class ScreeningService:
             # or places its shutdown sentinel behind it, so every accepted
             # request is drained before the worker exits.
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise ServiceClosed("service is closed")
             self.stats.requests += 1
             self._m_requests.inc()
             cached = self.cache.get(key)
@@ -258,13 +271,17 @@ class ScreeningService:
                 self._m_latency["cache_hit"].observe(elapsed)
                 return future
             in_flight = self._pending.get(key)
-            if in_flight is not None and not in_flight.cancelled():
+            if in_flight is not None and not in_flight.done():
                 # Coalesce onto the in-flight request; each coalesced caller
                 # gets its own derived future with a private map copy and its
                 # own vector name — sharing the primary result object would
-                # let one caller's mutation corrupt the other's.  A future
-                # already *cancelled* here is not coalesced onto; the fresh
-                # request below simply replaces it in the pending map.
+                # let one caller's mutation corrupt the other's.  A pending
+                # future that is already *done* here is stale: cancelled by
+                # its caller, or resolved with an error by a batch-worker
+                # failure that leaked the entry.  Coalescing onto it would
+                # hand new submitters an old failure (or a dead future) with
+                # no fresh attempt, so the fresh request below simply
+                # replaces it in the pending map.
                 self.stats.coalesced += 1
                 self._m_coalesced.inc()
                 coalesce_onto = in_flight
@@ -325,14 +342,26 @@ class ScreeningService:
             self._latencies.append(elapsed)
             self._m_latency[path].observe(elapsed)
 
-    def close(self) -> None:
-        """Stop the worker; pending requests are still drained first."""
+    def close(self, drain: bool = True) -> None:
+        """Stop the worker, resolving every accepted future before returning.
+
+        With ``drain=True`` (the default) requests still queued at shutdown
+        are processed normally before the worker exits.  With ``drain=False``
+        they are rejected immediately with :class:`ServiceClosed` instead of
+        paying for their forward passes.  Either way, no accepted future is
+        ever abandoned: anything left unresolved once the worker has exited —
+        including requests stranded by a crashed worker thread — is rejected
+        with :class:`ServiceClosed` so blocked callers wake up.  Idempotent.
+        """
         with self._lock:
-            if self._closed:
-                return
+            already_closed = self._closed
             self._closed = True
-        self._queue.put(_SENTINEL)
+            if not drain:
+                self._abandon = True
+        if not already_closed:
+            self._queue.put(_SENTINEL)
         self._worker.join()
+        self._flush_unresolved(ServiceClosed("service closed before the request ran"))
 
     def __enter__(self) -> "ScreeningService":
         return self
@@ -348,23 +377,79 @@ class ScreeningService:
         return self.registry.get(design_name)
 
     def _run_worker(self) -> None:
-        while True:
-            first = self._queue.get()
-            if first is _SENTINEL:
-                break
-            batch = [first]
-            deadline = time.perf_counter() + self.max_wait
-            while len(batch) < self.max_batch:
-                timeout = deadline - time.perf_counter()
+        # The worker must never die with unresolved futures behind it: a
+        # pending-map entry whose future will never resolve makes every later
+        # identical submission coalesce onto a dead future.  Batch failures —
+        # including BaseExceptions a fault-injecting test or interpreter
+        # shutdown may raise — therefore fail the batch's futures before the
+        # (possibly fatal) error propagates, and the ``finally`` sweep below
+        # marks the service closed and rejects whatever is still queued.
+        try:
+            while True:
+                first = self._queue.get()
+                if first is _SENTINEL:
+                    break
+                batch = [first]
+                deadline = time.perf_counter() + self.max_wait
+                while len(batch) < self.max_batch:
+                    timeout = deadline - time.perf_counter()
+                    try:
+                        item = self._queue.get(timeout=max(timeout, 0.0)) if timeout > 0 else self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is _SENTINEL:
+                        self._queue.put(_SENTINEL)
+                        break
+                    batch.append(item)
+                if self._abandon:
+                    self._fail_batch(batch, ServiceClosed("service closed before the request ran"))
+                    continue
                 try:
-                    item = self._queue.get(timeout=max(timeout, 0.0)) if timeout > 0 else self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if item is _SENTINEL:
-                    self._queue.put(_SENTINEL)
-                    break
-                batch.append(item)
-            self._process_batch(batch)
+                    self._process_batch(batch)
+                except BaseException as error:
+                    self._fail_batch(batch, error)
+                    raise
+        finally:
+            with self._lock:
+                self._closed = True
+            self._flush_unresolved(
+                ServiceClosed("service worker exited before the request ran")
+            )
+
+    def _fail_batch(self, batch: list, error: BaseException) -> None:
+        """Fail every request of a batch (crash path; keeps the maps clean)."""
+        requests = [
+            item for item in batch if item is not _SENTINEL and not item.future.done()
+        ]
+        with self._lock:
+            self.stats.failures += len(requests)
+            self._m_failures.inc(len(requests))
+            for request in requests:
+                self._pending.pop(request.key, None)
+        for request in requests:
+            _safe_resolve(request.future, error=error)
+
+    def _flush_unresolved(self, error: BaseException) -> None:
+        """Reject queued requests and stale pending futures after worker exit.
+
+        Only runs once the worker thread is gone (join or crash), so nothing
+        races the queue drain.  Futures already resolved are untouched.
+        """
+        leftovers: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                leftovers.append(item)
+        with self._lock:
+            stale = [future for future in self._pending.values() if not future.done()]
+            self._pending.clear()
+        for request in leftovers:
+            _safe_resolve(request.future, error=error)
+        for future in stale:
+            _safe_resolve(future, error=error)
 
     def _process_batch(self, batch: list[_Request]) -> None:
         groups: dict[str, list[_Request]] = {}

@@ -1,0 +1,221 @@
+"""Gateway correctness: routing, admission control, lifecycle.
+
+Concurrency-sensitive scripts use the shared :class:`GatedPredictor`
+(installed into a shard via hot swap) so the worker is *provably* mid-batch
+before the test acts — no ``max_wait`` timing windows anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.gateway import (
+    GatewayClosed,
+    GatewayOverloaded,
+    LoadShedError,
+    ScreeningGateway,
+)
+
+
+def test_screen_matches_direct_prediction(make_gateway, tiny_design, tiny_features, expected_results, assert_noise_close):
+    gateway = make_gateway()
+    results = gateway.screen(
+        [(features, tiny_design.name) for features in tiny_features]
+    )
+    assert len(results) == len(expected_results)
+    for result, expected in zip(results, expected_results):
+        assert_noise_close(result, expected)
+    # Every accepted request resolved: the admission gauge returns to zero.
+    assert gateway.metrics.gauge("gateway.queue_depth").last == 0
+    assert gateway.metrics.counter("gateway.requests").value == len(tiny_features)
+
+
+def test_scenario_payloads_are_deterministic(make_gateway, tiny_design, assert_noise_close):
+    gateway = make_gateway()
+    first, second = gateway.screen(
+        [("power_virus", tiny_design), ("power_virus", tiny_design.name)],
+        num_steps=120,
+        seed=7,
+    )
+    # Same scenario, design, and seed — whether the design travels as an
+    # object or a name, the worker must materialise the same trace.
+    assert_noise_close(first, second)
+    assert first.noise_map.size and float(first.worst_noise) == float(first.worst_noise)
+
+
+def test_async_submit_from_event_loop(make_gateway, tiny_design, tiny_features, expected_results, assert_noise_close):
+    gateway = make_gateway()
+
+    async def main():
+        results = await asyncio.gather(
+            *(
+                gateway.submit(features, tiny_design.name)
+                for features in tiny_features[:4]
+            )
+        )
+        return results
+
+    for result, expected in zip(asyncio.run(main()), expected_results):
+        assert_noise_close(result, expected)
+
+
+def test_designs_partition_across_shards(
+    make_gateway, tiny_design, second_design_name, tiny_features
+):
+    gateway = make_gateway()
+    home = gateway.shard_for(tiny_design.name)
+    other = gateway.shard_for(second_design_name)
+    assert home != other
+    gateway.screen(
+        [
+            (tiny_features[0], tiny_design.name),
+            (tiny_features[1], second_design_name),
+            (tiny_features[2], tiny_design.name),
+        ]
+    )
+    shards = gateway.health()["shards"]
+    # Each shard's registry partition only ever saw its own design, so the
+    # LRU entries are disjoint — the warm-cache property sharding exists for.
+    assert shards[home]["resident"] == [tiny_design.name]
+    assert shards[other]["resident"] == [second_design_name]
+
+
+def test_health_snapshot_shape(make_gateway):
+    gateway = make_gateway(num_shards=3, queue_limit=17)
+    health = gateway.health()
+    assert health["accepting"] is True
+    assert health["outstanding"] == 0
+    assert health["queue_limit"] == 17
+    assert set(health["shards"]) == {0, 1, 2}
+    for shard in health["shards"].values():
+        assert shard["state"] == "healthy"
+        assert shard["restarts"] == 0
+
+
+def test_reject_policy_backpressure(
+    make_gateway, make_gated_predictor, wait_for, tiny_design, tiny_predictor, tiny_features
+):
+    gateway = make_gateway(queue_limit=4, max_batch=1)
+    gated = make_gated_predictor(tiny_predictor)
+    gateway.swap_checkpoint(tiny_design.name, gated, persist=False).result(timeout=5)
+
+    admitted = [gateway.submit_async(tiny_features[0], tiny_design.name)]
+    assert gated.started.wait(5)  # the worker is provably mid-batch
+    for i in (1, 2, 3):
+        admitted.append(gateway.submit_async(tiny_features[i], tiny_design.name))
+    with pytest.raises(GatewayOverloaded) as overload:
+        gateway.submit_async(tiny_features[4], tiny_design.name)
+    assert overload.value.retry_after_s > 0
+
+    gated.release.set()
+    for future in admitted:
+        assert future.result(timeout=10) is not None
+    metrics = gateway.metrics
+    assert metrics.counter("gateway.rejected").value == 1
+    # Capacity freed: the same submission is admitted now.
+    assert gateway.submit_async(tiny_features[4], tiny_design.name).result(timeout=10)
+
+
+def test_shed_oldest_spares_dispatched_requests(
+    make_gateway, make_gated_predictor, tiny_design, tiny_predictor, tiny_features
+):
+    gateway = make_gateway(queue_limit=2, shed_policy="shed-oldest", max_batch=1)
+    gated = make_gated_predictor(tiny_predictor)
+    gateway.swap_checkpoint(tiny_design.name, gated, persist=False).result(timeout=5)
+
+    in_flight = gateway.submit_async(tiny_features[0], tiny_design.name)
+    assert gated.started.wait(5)
+    waiting = gateway.submit_async(tiny_features[1], tiny_design.name)
+    fresh = gateway.submit_async(tiny_features[2], tiny_design.name)
+
+    # The oldest *waiting* request was shed; the dispatched one was spared
+    # (shedding it would waste the forward pass already under way).
+    with pytest.raises(LoadShedError):
+        waiting.result(timeout=5)
+    gated.release.set()
+    assert in_flight.result(timeout=10) is not None
+    assert fresh.result(timeout=10) is not None
+    assert gateway.metrics.counter("gateway.shed").value == 1
+
+
+def test_cancelled_request_is_skipped_not_served(
+    make_gateway, make_gated_predictor, tiny_design, tiny_predictor, tiny_features
+):
+    gateway = make_gateway(max_batch=1)
+    gated = make_gated_predictor(tiny_predictor)
+    gateway.swap_checkpoint(tiny_design.name, gated, persist=False).result(timeout=5)
+
+    blocked = gateway.submit_async(tiny_features[0], tiny_design.name)
+    assert gated.started.wait(5)
+    cancelled = gateway.submit_async(tiny_features[1], tiny_design.name)
+    assert cancelled.cancel()
+    gated.release.set()
+    assert blocked.result(timeout=10) is not None
+    # Draining close() proves the cancelled entry did not wedge the shard.
+    gateway.close()
+    assert cancelled.cancelled()
+
+
+def test_close_drains_backlog(make_gateway, tiny_design, tiny_features):
+    gateway = make_gateway()
+    futures = [
+        gateway.submit_async(features, tiny_design.name)
+        for features in tiny_features
+    ]
+    gateway.close(drain=True)
+    for future in futures:
+        assert future.result(timeout=0) is not None  # already resolved
+
+
+def test_close_without_drain_fails_pending_with_typed_error(
+    make_gateway, make_gated_predictor, wait_for, tiny_design, tiny_predictor, tiny_features
+):
+    import threading
+
+    gateway = make_gateway(max_batch=1)
+    gated = make_gated_predictor(tiny_predictor)
+    gateway.swap_checkpoint(tiny_design.name, gated, persist=False).result(timeout=5)
+
+    blocked = gateway.submit_async(tiny_features[0], tiny_design.name)
+    assert gated.started.wait(5)
+    waiting = gateway.submit_async(tiny_features[1], tiny_design.name)
+
+    closer = threading.Thread(target=lambda: gateway.close(drain=False, timeout=10))
+    closer.start()
+    # Both futures are failed immediately — before the worker is released.
+    wait_for(lambda: blocked.done() and waiting.done(), timeout=5)
+    with pytest.raises(GatewayClosed):
+        blocked.result(timeout=0)
+    with pytest.raises(GatewayClosed):
+        waiting.result(timeout=0)
+    gated.release.set()
+    closer.join(timeout=10)
+    assert not closer.is_alive()
+    # The worker's late answer lost the race and was counted as dropped.
+    assert gateway.metrics.counter("gateway.duplicates_dropped").value >= 1
+
+
+def test_submit_and_swap_after_close_raise(make_gateway, tiny_design, tiny_features):
+    gateway = make_gateway()
+    gateway.close()
+    with pytest.raises(GatewayClosed):
+        gateway.submit_async(tiny_features[0], tiny_design.name)
+    with pytest.raises(GatewayClosed):
+        gateway.swap_checkpoint(tiny_design.name)
+    gateway.close()  # idempotent
+
+
+def test_invalid_configuration_rejected(gateway_root):
+    with pytest.raises(ValueError, match="shed_policy"):
+        ScreeningGateway(gateway_root, shed_policy="drop-newest")
+    with pytest.raises(ValueError):
+        ScreeningGateway(gateway_root, num_shards=0)
+
+
+def test_context_manager_closes(gateway_root, tiny_design, tiny_features):
+    with ScreeningGateway(gateway_root, num_shards=1) as gateway:
+        future = gateway.submit_async(tiny_features[0], tiny_design.name)
+    assert future.result(timeout=0) is not None
+    assert gateway.health()["accepting"] is False

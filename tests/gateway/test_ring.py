@@ -1,0 +1,74 @@
+"""Consistent-hash ring: determinism, balance, minimal movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway import ConsistentHashRing
+
+KEYS = [f"design-{i}@{scale:.1f}" for i in range(250) for scale in (0.1, 0.5)]
+
+
+def test_assignment_is_deterministic_across_instances():
+    a = ConsistentHashRing(range(4))
+    b = ConsistentHashRing([3, 2, 1, 0])  # order must not matter
+    assert [a.assign(k) for k in KEYS] == [b.assign(k) for k in KEYS]
+
+
+def test_every_node_gets_a_reasonable_share():
+    ring = ConsistentHashRing(range(4))
+    counts = {node: 0 for node in range(4)}
+    for key in KEYS:
+        counts[ring.assign(key)] += 1
+    assert set(counts) == {0, 1, 2, 3}
+    # With 64 virtual nodes each, no shard should be starved or dominant.
+    for node, count in counts.items():
+        share = count / len(KEYS)
+        assert 0.10 <= share <= 0.45, f"node {node} owns {share:.0%} of keys"
+
+
+def test_adding_a_node_only_moves_keys_to_that_node():
+    before = ConsistentHashRing(range(3))
+    after = ConsistentHashRing(range(3))
+    after.add(3)
+    moved = 0
+    for key in KEYS:
+        old, new = before.assign(key), after.assign(key)
+        if old != new:
+            moved += 1
+            assert new == 3, "a key moved to a pre-existing node"
+    # ~1/4 of the keys should move; far fewer than a modulo remap would.
+    assert 0 < moved < len(KEYS) // 2
+
+
+def test_removing_a_node_keeps_other_assignments_stable():
+    full = ConsistentHashRing(range(4))
+    shrunk = ConsistentHashRing(range(4))
+    shrunk.remove(2)
+    for key in KEYS:
+        old = full.assign(key)
+        if old != 2:
+            assert shrunk.assign(key) == old
+        else:
+            assert shrunk.assign(key) != 2
+
+
+def test_membership_add_remove_idempotent():
+    ring = ConsistentHashRing()
+    assert len(ring) == 0
+    ring.add("a")
+    ring.add("a")
+    assert len(ring) == 1 and "a" in ring and ring.nodes == ("a",)
+    ring.remove("missing")  # no-op
+    ring.remove("a")
+    assert len(ring) == 0 and "a" not in ring
+
+
+def test_empty_ring_rejects_assignment():
+    with pytest.raises(ValueError, match="empty ring"):
+        ConsistentHashRing().assign("anything")
+
+
+def test_replicas_must_be_positive():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(range(2), replicas=0)

@@ -1,0 +1,116 @@
+"""TCP front door: the newline-delimited JSON protocol end to end."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.gateway import GatewayServer
+
+
+async def _roundtrip(reader, writer, payload) -> dict:
+    """Send one request object (or a raw line) and read its response."""
+    line = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    writer.write(line + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def test_protocol_end_to_end(make_gateway, tiny_design, tiny_predictor):
+    gateway = make_gateway()
+    server = GatewayServer(gateway)
+
+    async def scenario():
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            # Screen by scenario family name.
+            screen = await _roundtrip(
+                reader,
+                writer,
+                {"design": tiny_design.name, "scenario": "power_virus",
+                 "num_steps": 120, "seed": 3},
+            )
+            assert screen["ok"] is True
+            assert screen["design"] == tiny_design.name
+            assert isinstance(screen["worst_noise_v"], float)
+            assert screen["latency_ms"] >= 0
+
+            # Same screen through a parameterised spec dict: identical
+            # request, identical answer (the connection is pipelined).
+            spec = await _roundtrip(
+                reader,
+                writer,
+                {"design": tiny_design.name,
+                 "scenario": {"family": "power_virus"},
+                 "num_steps": 120, "seed": 3},
+            )
+            assert spec["ok"] is True
+            assert spec["worst_noise_v"] == screen["worst_noise_v"]
+
+            # Health reflects the traffic this connection generated.
+            health = await _roundtrip(reader, writer, {"op": "health"})
+            assert health["ok"] is True
+            assert health["health"]["accepting"] is True
+            shard = str(gateway.shard_for(tiny_design.name))
+            residents = {
+                name
+                for entry in health["health"]["shards"].values()
+                for name in entry["resident"]
+            }
+            assert tiny_design.name in residents
+            assert shard in health["health"]["shards"]
+
+            # Swap (reload from disk) reports the serving fingerprint.
+            swap = await _roundtrip(
+                reader, writer, {"op": "swap", "design": tiny_design.name}
+            )
+            assert swap["ok"] is True
+            assert swap["fingerprint"] == tiny_predictor.fingerprint
+
+            # Protocol errors are responses, not dropped connections.
+            malformed = await _roundtrip(reader, writer, b"this is not json")
+            assert malformed["ok"] is False
+            assert "malformed" in malformed["error"]
+
+            unknown_op = await _roundtrip(reader, writer, {"op": "sudo"})
+            assert unknown_op["ok"] is False and "unknown op" in unknown_op["error"]
+
+            unknown_design = await _roundtrip(
+                reader, writer, {"design": "no-such-design", "scenario": "power_virus"}
+            )
+            assert unknown_design["ok"] is False
+            assert "KeyError" in unknown_design["error"]
+
+            # The connection survived every error above.
+            again = await _roundtrip(reader, writer, {"op": "health"})
+            assert again["ok"] is True
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_closed_gateway_maps_to_typed_response(make_gateway, tiny_design):
+    gateway = make_gateway()
+    server = GatewayServer(gateway)
+
+    async def scenario():
+        host, port = await server.start()
+        await gateway.aclose()
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            response = await _roundtrip(
+                reader,
+                writer,
+                {"design": tiny_design.name, "scenario": "power_virus"},
+            )
+            assert response == {"ok": False, "error": "closed"}
+        finally:
+            writer.close()
+            await writer.wait_closed()
+            await server.stop()
+
+    asyncio.run(scenario())

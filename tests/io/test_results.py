@@ -95,6 +95,7 @@ class TestLatencyThroughputColumns:
         columns = latency_throughput_columns([0.01, 0.02, 0.03, 0.04])
         assert columns["p50_latency_ms"] == pytest.approx(25.0)
         assert columns["p95_latency_ms"] == pytest.approx(38.5)
+        assert columns["p99_latency_ms"] == pytest.approx(39.7)
         assert columns["vectors_per_sec"] == pytest.approx(4 / 0.1)
 
     def test_concurrent_span_overrides_sum(self):
@@ -111,6 +112,7 @@ class TestLatencyThroughputColumns:
         record.values.update(latency_throughput_columns([0.001, 0.002]))
         assert "p50_latency_ms" in record.values
         assert "p95_latency_ms" in record.values
+        assert "p99_latency_ms" in record.values
         assert "vectors_per_sec" in record.values
 
     def test_empty_rejected(self):
