@@ -29,7 +29,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Packages documented in the reference, in page order.
 DOCUMENTED_PACKAGES = (
     "repro.core", "repro.workloads", "repro.datagen", "repro.serving",
-    "repro.gateway", "repro.eval", "repro.obs",
+    "repro.gateway", "repro.eval", "repro.obs", "repro.faults",
+    "repro.resilience",
 )
 
 HEADER = """\
@@ -38,8 +39,9 @@ HEADER = """\
 Public API of the prediction framework (`repro.core`), the workload layer
 (`repro.workloads`), the dataset factory (`repro.datagen`), the serving
 layer (`repro.serving`), the screening gateway (`repro.gateway`), the
-cross-design evaluation harness (`repro.eval`) and the telemetry substrate
-(`repro.obs`).
+cross-design evaluation harness (`repro.eval`), the telemetry substrate
+(`repro.obs`), the fault-injection layer (`repro.faults`) and the
+crash-safety toolkit (`repro.resilience`).
 
 **This file is generated** from the package docstrings by
 `python scripts/gen_api_docs.py`; edit the docstrings, not this file — CI
@@ -47,8 +49,9 @@ fails when the two drift apart.  See `docs/tutorial.md` for a guided tour,
 `docs/data-pipeline.md` for the on-disk corpus contract,
 `docs/workloads.md` for the scenario library,
 `docs/evaluation.md` for the evaluation protocols and baseline workflow,
-`docs/observability.md` for metric/span naming and the run-report format
-and `docs/serving.md` for the serving stack and gateway front door.
+`docs/observability.md` for metric/span naming and the run-report format,
+`docs/serving.md` for the serving stack and gateway front door and
+`docs/resilience.md` for the failure model and crash-safety drills.
 """
 
 

@@ -36,13 +36,18 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import WorstCaseNoiseNet
 from repro.features.extraction import FeatureNormalizer, fit_normalizer
 from repro.nn import Adam, huber_loss, l1_loss, mse_loss, no_grad
 from repro.nn.tensor import record_graph
 from repro.pdn.designs import Design
+from repro.resilience.checkpoint import (
+    CheckpointPolicy,
+    TrainingGuard,
+    divergence_detail,
+)
 from repro.utils import Timer, get_logger
 from repro.utils.random import ensure_rng
 from repro.workloads.dataset import DatasetSplit, NoiseDataset, expansion_split
@@ -128,6 +133,13 @@ class NoiseModelTrainer:
     model_config / training_config:
         Hyper-parameters.  ``training_config.sequential`` selects the
         engine (batched by default, see the module docstring).
+    checkpointing:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointPolicy`
+        enabling preemption-safe training: periodic atomic checkpoints
+        (model + optimiser + RNG + history), bit-identical resume from the
+        latest one, and divergence rollback.  Deliberately *not* a
+        ``TrainingConfig`` field — it changes how a run survives, never
+        what it computes, so config hashes stay stable.
     """
 
     def __init__(
@@ -137,6 +149,7 @@ class NoiseModelTrainer:
         split: Optional[DatasetSplit] = None,
         model_config: ModelConfig = ModelConfig(),
         training_config: TrainingConfig = TrainingConfig(),
+        checkpointing: Optional[CheckpointPolicy] = None,
     ):
         if len(dataset) < 3:
             raise ValueError("training requires at least 3 samples")
@@ -144,6 +157,7 @@ class NoiseModelTrainer:
         self.design = design
         self.model_config = model_config
         self.training_config = training_config
+        self.checkpointing = checkpointing
         self.split = split if split is not None else expansion_split(
             dataset, seed=training_config.seed
         )
@@ -203,6 +217,12 @@ class NoiseModelTrainer:
     def _loss_function(self):
         """The configured loss callable (l1 / mse / huber)."""
         return LOSS_FUNCTIONS[self.training_config.loss]
+
+    def _make_guard(self, optimizer, rng) -> Optional[TrainingGuard]:
+        """The run's :class:`TrainingGuard`, or ``None`` without checkpointing."""
+        if self.checkpointing is None:
+            return None
+        return TrainingGuard(self.checkpointing, self.model, optimizer, rng)
 
     def _sample_loss(self, index: int, normalized_distance: np.ndarray):
         """Forward pass plus loss for one sample (returns the loss tensor)."""
@@ -285,18 +305,24 @@ class NoiseModelTrainer:
         history = TrainingHistory()
         best_state = self.model.state_dict()
         epochs_without_improvement = 0
+        guard = self._make_guard(optimizer, rng)
+        epoch = 0
+        if guard is not None:
+            epoch, best_state, epochs_without_improvement = guard.restore(
+                history, best_state, epochs_without_improvement
+            )
         timer = Timer()
 
         metrics = obs.metrics()
         with timer.measure():
-            for epoch in range(config.epochs):
+            while epoch < config.epochs:
                 order = np.arange(num_train)
                 if config.shuffle:
                     rng.shuffle(order)
 
                 epoch_loss = 0.0
                 epoch_started = time.perf_counter()
-                for start in range(0, num_train, config.batch_size):
+                for step, start in enumerate(range(0, num_train, config.batch_size)):
                     rows = order[start:start + config.batch_size]
                     batch_inputs = (
                         train_inputs[rows]
@@ -311,6 +337,7 @@ class NoiseModelTrainer:
                         loss = loss_function(prediction, train_targets[rows])
                         loss.backward()
                     optimizer.step()
+                    faults.active().on_train_step(epoch, step, self.model)
                     epoch_loss += loss.item() * len(rows)
                 epoch_loss /= num_train
                 _observe_epoch(
@@ -320,6 +347,15 @@ class NoiseModelTrainer:
                 validation_loss = self._evaluate_batched(
                     validation_inputs, validation_targets, normalized_distance
                 )
+                if guard is not None:
+                    detail = divergence_detail(
+                        epoch_loss, validation_loss, len(self.split.validation) > 0
+                    )
+                    if detail is not None:
+                        epoch, best_state, epochs_without_improvement = (
+                            guard.handle_divergence(epoch, detail, history)
+                        )
+                        continue
                 stop, best_state, epochs_without_improvement = self._note_epoch(
                     history,
                     epoch,
@@ -328,8 +364,13 @@ class NoiseModelTrainer:
                     best_state,
                     epochs_without_improvement,
                 )
+                if guard is not None:
+                    guard.after_epoch(
+                        epoch, history, best_state, epochs_without_improvement
+                    )
                 if stop:
                     break
+                epoch += 1
 
         self.model.load_state_dict(best_state)
         history.wall_clock_seconds = timer.total
@@ -353,18 +394,26 @@ class NoiseModelTrainer:
         history = TrainingHistory()
         best_state = self.model.state_dict()
         epochs_without_improvement = 0
+        guard = self._make_guard(optimizer, rng)
+        epoch = 0
+        if guard is not None:
+            epoch, best_state, epochs_without_improvement = guard.restore(
+                history, best_state, epochs_without_improvement
+            )
         timer = Timer()
 
         metrics = obs.metrics()
         with timer.measure():
-            for epoch in range(config.epochs):
+            while epoch < config.epochs:
                 train_indices = np.array(self.split.train, dtype=int)
                 if config.shuffle:
                     rng.shuffle(train_indices)
 
                 epoch_loss = 0.0
                 epoch_started = time.perf_counter()
-                for start in range(0, len(train_indices), config.batch_size):
+                for step, start in enumerate(
+                    range(0, len(train_indices), config.batch_size)
+                ):
                     batch = train_indices[start:start + config.batch_size]
                     optimizer.zero_grad()
                     batch_loss = None
@@ -374,6 +423,7 @@ class NoiseModelTrainer:
                     batch_loss = batch_loss * (1.0 / len(batch))
                     batch_loss.backward()
                     optimizer.step()
+                    faults.active().on_train_step(epoch, step, self.model)
                     epoch_loss += batch_loss.item() * len(batch)
                 epoch_loss /= len(train_indices)
                 _observe_epoch(
@@ -386,6 +436,15 @@ class NoiseModelTrainer:
                 validation_loss = self._evaluate_loss(
                     self.split.validation, normalized_distance
                 )
+                if guard is not None:
+                    detail = divergence_detail(
+                        epoch_loss, validation_loss, len(self.split.validation) > 0
+                    )
+                    if detail is not None:
+                        epoch, best_state, epochs_without_improvement = (
+                            guard.handle_divergence(epoch, detail, history)
+                        )
+                        continue
                 stop, best_state, epochs_without_improvement = self._note_epoch(
                     history,
                     epoch,
@@ -394,8 +453,13 @@ class NoiseModelTrainer:
                     best_state,
                     epochs_without_improvement,
                 )
+                if guard is not None:
+                    guard.after_epoch(
+                        epoch, history, best_state, epochs_without_improvement
+                    )
                 if stop:
                     break
+                epoch += 1
 
         self.model.load_state_dict(best_state)
         history.wall_clock_seconds = timer.total

@@ -26,7 +26,9 @@ contract, and ``benchmarks/bench_datagen.py`` for measured speedups.
 """
 
 from repro.datagen.engine import (
+    DEFAULT_POLICY,
     DesignFactory,
+    GenerationPolicy,
     GenerationReport,
     generate_corpus,
     shard_vectors,
@@ -48,6 +50,8 @@ __all__ = [
     "CorpusSpec",
     "paper_corpus_spec",
     "DesignFactory",
+    "GenerationPolicy",
+    "DEFAULT_POLICY",
     "GenerationReport",
     "generate_corpus",
     "shard_vectors",

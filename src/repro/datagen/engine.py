@@ -23,16 +23,26 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
-from repro import obs
-from repro.datagen.shards import CorpusManifest, ShardRecord, ShardStore
+from repro import faults, obs
+from repro.datagen.shards import (
+    CorpusManifest,
+    ShardRecord,
+    ShardStore,
+    dataset_content_hash,
+)
 from repro.datagen.spec import CorpusDesignSpec, CorpusSpec
 from repro.pdn.designs import Design, design_from_name
+from repro.resilience.errors import CorruptShardError, ShardFailedError
+from repro.resilience.quarantine import poisoned_sample_indices
+from repro.resilience.retry import RetryPolicy
 from repro.sim.dynamic_noise import DynamicNoiseAnalysis
 from repro.sim.transient import TransientOptions
 from repro.utils import get_logger
@@ -45,6 +55,49 @@ _LOG = get_logger("datagen.engine")
 
 #: Signature of a design factory: reference string -> Design.
 DesignFactory = Callable[[str], Design]
+
+#: Signature of a picklable fault-injector factory installed in each worker.
+FaultsFactory = Callable[[], "faults.FaultInjector"]
+
+
+@dataclass(frozen=True)
+class GenerationPolicy:
+    """Failure-handling knobs of one :func:`generate_corpus` run.
+
+    Attributes
+    ----------
+    retry:
+        Per-shard retry budget and backoff.  Failed shards are retried in
+        waves (all first-attempt failures, then all second attempts, …) with
+        the policy's exponential backoff between waves; shards that exhaust
+        the budget are reported in a
+        :class:`~repro.resilience.errors.ShardFailedError` *after* every
+        other shard has been generated and recorded.
+    shard_timeout_s:
+        Parent-side deadline per pooled shard.  A shard exceeding it counts
+        as a failed attempt (``faults.shard_timeouts``) and is retried; the
+        stuck worker is left to finish or die — its claim fences the retry
+        until it does.  ``None`` disables timeouts (and inline runs cannot
+        enforce them).
+    quarantine:
+        Scan each shard's freshly simulated dataset for non-finite labels or
+        current maps; poisoned vectors are dropped from the shard and
+        recorded in the manifest's ``quarantined`` list instead of crashing
+        the run.
+    verify_resume:
+        On resume, recompute the content hash of every shard the manifest
+        says is complete; corrupt or unreadable shards are regenerated
+        instead of trusted.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    shard_timeout_s: Optional[float] = None
+    quarantine: bool = True
+    verify_resume: bool = True
+
+
+#: Default failure handling: 3 attempts, quarantine on, resume verification on.
+DEFAULT_POLICY = GenerationPolicy()
 
 
 @dataclass(frozen=True)
@@ -59,6 +112,7 @@ class _ShardTask:
     solver_method: str
     integration_method: str
     initial_state: str
+    quarantine: bool = True
 
 
 @dataclass
@@ -78,6 +132,14 @@ class GenerationReport:
     shards_deferred:
         Shards left ungenerated — claimed by a concurrent run, or cut off
         by ``max_shards``.
+    shards_failed:
+        Shards that exhausted their retry budget this run (also listed in
+        the raised :class:`~repro.resilience.errors.ShardFailedError`).
+    shards_regenerated:
+        Resumed shards whose on-disk file failed content-hash verification
+        and were regenerated from scratch.
+    vectors_quarantined:
+        Poisoned vectors dropped into the manifest's quarantine this run.
     samples_generated:
         Vectors simulated by this run.
     seconds:
@@ -91,6 +153,9 @@ class GenerationReport:
     shards_generated: int = 0
     shards_skipped: int = 0
     shards_deferred: int = 0
+    shards_failed: int = 0
+    shards_regenerated: int = 0
+    vectors_quarantined: int = 0
     samples_generated: int = 0
     seconds: float = 0.0
     manifest: Optional[CorpusManifest] = None
@@ -112,6 +177,9 @@ class GenerationReport:
             "shards_generated": self.shards_generated,
             "shards_skipped": self.shards_skipped,
             "shards_deferred": self.shards_deferred,
+            "shards_failed": self.shards_failed,
+            "shards_regenerated": self.shards_regenerated,
+            "vectors_quarantined": self.vectors_quarantined,
             "samples_generated": self.samples_generated,
             "seconds": self.seconds,
             "complete": self.complete,
@@ -124,12 +192,24 @@ _WORKER_DESIGNS: dict[str, Design] = {}
 _WORKER_ANALYSES: dict[tuple, DynamicNoiseAnalysis] = {}
 
 
-def _worker_init(factory: DesignFactory) -> None:
-    """Process-pool initializer: install the design factory, clear caches."""
+def _worker_init(
+    factory: DesignFactory, faults_factory: Optional[FaultsFactory] = None
+) -> None:
+    """Process-pool initializer: install the design factory, clear caches.
+
+    When a ``faults_factory`` is supplied its product is installed as the
+    process-global fault injector (:func:`repro.faults.install`), so pooled
+    workers script the same failures an inline run would.  ``None`` leaves
+    whatever injector is already active untouched — which is what lets
+    inline tests install one via :func:`repro.faults.injected` around the
+    engine call.
+    """
     global _WORKER_FACTORY
     _WORKER_FACTORY = factory
     _WORKER_DESIGNS.clear()
     _WORKER_ANALYSES.clear()
+    if faults_factory is not None:
+        faults.install(faults_factory())
 
 
 def _worker_design(reference: str) -> Design:
@@ -220,6 +300,7 @@ def _generate_shard(task: _ShardTask) -> dict:
     if not store.claim(task.label, task.index):
         return {"deferred": True, "label": task.label, "index": task.index}
     try:
+        faults.active().before_shard(task.label, task.index)
         tracer = obs.get_tracer()
         with tracer.span("datagen.shard", label=task.label, index=task.index) as shard_span:
             spec = task.design_spec
@@ -235,6 +316,8 @@ def _generate_shard(task: _ShardTask) -> dict:
                     analysis=analysis,
                     sim_batch_size=task.sim_batch_size,
                 )
+            dataset = faults.active().on_shard_dataset(task.label, task.index, dataset)
+            dataset, quarantined = _quarantine_poisoned(task, dataset)
             content_hash = store.write_shard(task.label, task.index, dataset)
         start, stop = spec.shard_bounds(task.index)
         record = ShardRecord(
@@ -256,9 +339,72 @@ def _generate_shard(task: _ShardTask) -> dict:
         metrics.histogram("datagen.shard_seconds").observe(shard_span.duration_s)
         metrics.histogram("datagen.sim_seconds").observe(sim_span.duration_s)
         obs.flush_shard()
-        return {"deferred": False, "record": record.to_dict(), "pid": os.getpid()}
+        return {
+            "deferred": False,
+            "record": record.to_dict(),
+            "quarantined": quarantined,
+            "pid": os.getpid(),
+        }
     finally:
         store.release(task.label, task.index)
+
+
+def _quarantine_poisoned(task: _ShardTask, dataset):
+    """Drop poisoned vectors from a shard's dataset; return quarantine entries.
+
+    A vector whose simulated label or current maps are non-finite (solver
+    non-convergence, numeric blow-up, injected NaN) is removed from the shard
+    and described by a manifest quarantine entry instead of poisoning the
+    corpus or crashing the run.  Scanning is deterministic, so a clean run
+    and a killed-and-resumed run quarantine the exact same vectors.
+    """
+    if not task.quarantine:
+        return dataset, []
+    poisoned = poisoned_sample_indices(dataset)
+    if not poisoned:
+        return dataset, []
+    quarantined = [
+        {
+            "label": task.label,
+            "index": task.index,
+            "key": dataset.samples[position].name,
+            "reason": reason,
+            "detail": "",
+        }
+        for position, reason in poisoned
+    ]
+    dropped = {position for position, _ in poisoned}
+    keep = [i for i in range(len(dataset)) if i not in dropped]
+    metrics = obs.metrics()
+    metrics.counter("faults.quarantined_vectors").inc(len(dropped))
+    _LOG.warning(
+        "quarantined %d poisoned vector(s) in shard %s:%d: %s",
+        len(dropped),
+        task.label,
+        task.index,
+        ", ".join(entry["key"] for entry in quarantined),
+    )
+    return dataset.subset(keep), quarantined
+
+
+def _generate_shard_safe(task: _ShardTask) -> dict:
+    """Run :func:`_generate_shard`, converting errors into failure outcomes.
+
+    Only :class:`Exception` is converted — an injected
+    :class:`~repro.faults.WorkerKilled` (or a real signal) still unwinds the
+    worker, exactly as the fault model requires.  The failure outcome is
+    picklable (the error travels as its ``repr``), so the parent's retry
+    loop works identically for pooled and inline execution.
+    """
+    try:
+        return _generate_shard(task)
+    except Exception as error:
+        return {
+            "failed": True,
+            "label": task.label,
+            "index": task.index,
+            "error": repr(error),
+        }
 
 
 def generate_corpus(
@@ -268,13 +414,18 @@ def generate_corpus(
     design_factory: DesignFactory = design_from_name,
     resume: bool = True,
     max_shards: Optional[int] = None,
+    policy: GenerationPolicy = DEFAULT_POLICY,
+    faults_factory: Optional[FaultsFactory] = None,
 ) -> GenerationReport:
     """Generate (or finish) a training corpus on disk.
 
     The call is idempotent and resumable: shards whose manifest records are
-    complete (and whose files exist) are skipped, everything else is
-    (re)generated, and the manifest is re-saved after every finished shard —
-    killing the run at any point loses at most the shards in flight.
+    complete (and whose files verify, see ``policy.verify_resume``) are
+    skipped, everything else is (re)generated, and the manifest is re-saved
+    after every finished shard — killing the run at any point loses at most
+    the shards in flight.  Failed shards are retried in waves under
+    ``policy.retry``; poisoned vectors are quarantined into the manifest
+    instead of crashing the run.
 
     Parameters
     ----------
@@ -298,6 +449,14 @@ def generate_corpus(
     max_shards:
         Stop after generating this many shards (testing/ops knob — it is
         how the resume tests simulate an interrupted run).
+    policy:
+        Failure handling: retry budget, per-shard timeout, quarantine and
+        resume verification (see :class:`GenerationPolicy`).
+    faults_factory:
+        Picklable zero-argument factory whose product is installed as the
+        fault injector inside every worker process (and inline, when the
+        pool is unavailable).  Testing knob — production runs leave it
+        ``None``.
 
     Returns
     -------
@@ -308,6 +467,10 @@ def generate_corpus(
     ------
     ValueError
         When resuming a root whose manifest hash does not match ``spec``.
+    repro.resilience.ShardFailedError
+        When shards exhaust ``policy.retry`` — raised only after every other
+        shard has been generated and recorded (the completed work survives;
+        ``error.report`` carries this run's :class:`GenerationReport`).
     """
     root = Path(root)
     store = ShardStore(root)
@@ -338,8 +501,13 @@ def generate_corpus(
                 and manifest.is_complete(design.label, index)
                 and store.has_shard(design.label, index)
             ):
-                report.shards_skipped += 1
-                continue
+                if policy.verify_resume and not _shard_verifies(
+                    store, manifest, design.label, index
+                ):
+                    report.shards_regenerated += 1
+                else:
+                    report.shards_skipped += 1
+                    continue
             tasks.append(
                 _ShardTask(
                     root=str(root),
@@ -350,55 +518,125 @@ def generate_corpus(
                     solver_method=spec.solver_method,
                     integration_method=spec.integration_method,
                     initial_state=spec.initial_state,
+                    quarantine=policy.quarantine,
                 )
             )
     if max_shards is not None and len(tasks) > max_shards:
         report.shards_deferred += len(tasks) - max_shards
         tasks = tasks[:max_shards]
 
+    metrics = obs.metrics()
+    failures: list[dict] = []
     with obs.get_tracer().span("datagen.generate_corpus", root=str(root)) as run_span:
-        if tasks:
-            for outcome in _run_tasks(tasks, design_factory, num_workers):
+        pending = tasks
+        attempts: dict[tuple[str, int], int] = {}
+        wave = 0
+        while pending:
+            task_by_key = {(task.label, task.index): task for task in pending}
+            retry_next: list[_ShardTask] = []
+            for outcome in _run_tasks(
+                pending, design_factory, num_workers, faults_factory,
+                policy.shard_timeout_s,
+            ):
                 if outcome.get("deferred"):
                     report.shards_deferred += 1
                     continue
+                if outcome.get("failed"):
+                    key = (outcome["label"], outcome["index"])
+                    attempts[key] = attempts.get(key, 0) + 1
+                    metrics.counter("faults.errors").inc()
+                    if attempts[key] >= policy.retry.max_attempts:
+                        metrics.counter("faults.exhausted").inc()
+                        report.shards_failed += 1
+                        failures.append(
+                            {
+                                "label": outcome["label"],
+                                "index": outcome["index"],
+                                "error": outcome["error"],
+                                "attempts": attempts[key],
+                            }
+                        )
+                    else:
+                        metrics.counter("faults.retries").inc()
+                        retry_next.append(task_by_key[key])
+                    continue
                 record = ShardRecord.from_dict(outcome["record"])
-                _record_completion(store, manifest, record)
+                _record_completion(
+                    store, manifest, record, outcome.get("quarantined", ())
+                )
                 report.shards_generated += 1
                 report.samples_generated += record.num_samples
+                report.vectors_quarantined += len(outcome.get("quarantined", ()))
+            pending = retry_next
+            if pending:
+                wave += 1
+                delay = policy.retry.delay(wave)
+                if delay > 0:
+                    time.sleep(delay)
         run_span.set(
             generated=report.shards_generated,
             skipped=report.shards_skipped,
             deferred=report.shards_deferred,
+            failed=report.shards_failed,
         )
     report.seconds = run_span.duration_s
     # Resume bookkeeping is parent-side telemetry (workers only count the
     # shards they generated), so pool and inline runs merge identically.
-    metrics = obs.metrics()
     if report.shards_skipped:
         metrics.counter("datagen.shards_skipped").inc(report.shards_skipped)
     if report.shards_deferred:
         metrics.counter("datagen.shards_deferred").inc(report.shards_deferred)
+    if report.shards_regenerated:
+        metrics.counter("faults.corrupt_shards").inc(report.shards_regenerated)
     obs.flush_shard()
     _LOG.info(
-        "corpus at %s: %d generated, %d skipped, %d deferred (%.1f s)",
+        "corpus at %s: %d generated, %d skipped, %d deferred, %d failed (%.1f s)",
         root,
         report.shards_generated,
         report.shards_skipped,
         report.shards_deferred,
+        report.shards_failed,
         report.seconds,
     )
+    if failures:
+        error = ShardFailedError(failures)
+        error.report = report
+        raise error
     return report
 
 
+def _shard_verifies(
+    store: ShardStore, manifest: CorpusManifest, label: str, index: int
+) -> bool:
+    """Whether a resumed shard's file still matches its manifest hash."""
+    expected = manifest.get(label, index).content_hash
+    try:
+        shard = store.read_shard(label, index, expected_hash=expected)
+    except CorruptShardError as error:
+        _LOG.warning("resumed shard failed verification: %s", error)
+        return False
+    actual = dataset_content_hash(shard)
+    if actual != expected:
+        _LOG.warning(
+            "resumed shard %s:%d hash mismatch (manifest %s…, file %s…); regenerating",
+            label, index, expected[:12], actual[:12],
+        )
+        return False
+    return True
+
+
 def _record_completion(
-    store: ShardStore, manifest: CorpusManifest, record: ShardRecord
+    store: ShardStore,
+    manifest: CorpusManifest,
+    record: ShardRecord,
+    quarantined: Sequence[dict] = (),
 ) -> None:
-    """Add one finished shard to the manifest and persist it.
+    """Add one finished shard (and its quarantine entries) to the manifest.
 
     The on-disk manifest is merged in first, so two concurrent runs (each
     generating the shards the other deferred) converge instead of the last
-    saver erasing the other's records.
+    saver erasing the other's records — quarantine entries merge the same
+    way (deduplicated by vector).
     """
     try:
         on_disk = store.load_manifest()
@@ -408,7 +646,11 @@ def _record_completion(
         for existing in on_disk.records:
             if manifest.get(existing.label, existing.index) is None:
                 manifest.add(existing)
+        for entry in on_disk.quarantined:
+            manifest.add_quarantine(entry)
     manifest.add(record)
+    for entry in quarantined:
+        manifest.add_quarantine(entry)
     store.save_manifest(manifest)
 
 
@@ -416,8 +658,18 @@ def _run_tasks(
     tasks: Sequence[_ShardTask],
     design_factory: DesignFactory,
     num_workers: Optional[int],
+    faults_factory: Optional[FaultsFactory] = None,
+    shard_timeout_s: Optional[float] = None,
 ):
-    """Yield shard outcomes, from a worker pool when possible, else inline."""
+    """Yield shard outcomes, from a worker pool when possible, else inline.
+
+    Shard-level errors never propagate from here: workers run
+    :func:`_generate_shard_safe`, so an exception becomes a ``failed``
+    outcome the caller's retry loop handles.  ``shard_timeout_s`` is
+    enforced parent-side per pooled shard — a late result counts as a
+    failed attempt (``faults.shard_timeouts``) while the stuck worker's
+    claim keeps fencing the shard until the worker actually exits.
+    """
     completed = 0
     if num_workers is None:
         num_workers = min(len(tasks), os.cpu_count() or 1)
@@ -426,26 +678,43 @@ def _run_tasks(
             pool = ProcessPoolExecutor(
                 max_workers=num_workers,
                 initializer=_worker_init,
-                initargs=(design_factory,),
+                initargs=(design_factory, faults_factory),
             )
         except (OSError, PermissionError, NotImplementedError) as error:
             _LOG.warning("cannot create process pool (%s); generating inline", error)
         else:
             with pool:
                 try:
-                    for outcome in pool.map(_generate_shard, tasks):
+                    futures = [
+                        pool.submit(_generate_shard_safe, task) for task in tasks
+                    ]
+                    for task, future in zip(tasks, futures):
+                        try:
+                            outcome = future.result(timeout=shard_timeout_s)
+                        except FutureTimeoutError:
+                            future.cancel()
+                            obs.metrics().counter("faults.shard_timeouts").inc()
+                            outcome = {
+                                "failed": True,
+                                "label": task.label,
+                                "index": task.index,
+                                "error": (
+                                    f"TimeoutError('shard exceeded "
+                                    f"{shard_timeout_s}s deadline')"
+                                ),
+                            }
                         completed += 1
                         yield outcome
                     return
                 except (BrokenProcessPool, pickle.PicklingError) as error:
                     # Worker startup/transport failure, not a shard failure —
-                    # shard exceptions propagate unchanged.  Shards already
-                    # yielded stay done (the caller recorded them); only the
-                    # remainder falls back to inline execution.  Hard-killed
-                    # workers never ran their release(), so drop their
-                    # dead-pid claims before retrying inline — otherwise the
-                    # fallback would defer exactly the shards it is meant to
-                    # finish.
+                    # shard exceptions are already failure outcomes.  Shards
+                    # already yielded stay done (the caller recorded them);
+                    # only the remainder falls back to inline execution.
+                    # Hard-killed workers never ran their release(), so drop
+                    # their dead-pid claims before retrying inline —
+                    # otherwise the fallback would defer exactly the shards
+                    # it is meant to finish.
                     _LOG.warning(
                         "process pool broke after %d/%d shards (%s); "
                         "generating the rest inline",
@@ -455,6 +724,6 @@ def _run_tasks(
                     )
                     if tasks:
                         ShardStore(tasks[0].root).clear_stale_claims()
-    _worker_init(design_factory)
+    _worker_init(design_factory, faults_factory)
     for task in tasks[completed:]:
-        yield _generate_shard(task)
+        yield _generate_shard_safe(task)

@@ -31,7 +31,10 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from repro import faults
 from repro.datagen.spec import CorpusSpec
+from repro.io.atomic import atomic_replace
+from repro.resilience.errors import CorruptShardError
 from repro.utils import get_logger
 from repro.utils.artifacts import atomic_write_text, git_revision
 from repro.workloads.dataset import NoiseDataset, merge_datasets
@@ -161,6 +164,7 @@ class CorpusManifest:
         self.config_hash = spec.config_hash()
         self.git_rev = git_rev if git_rev is not None else git_revision()
         self._records: dict[tuple[str, int], ShardRecord] = {}
+        self._quarantined: dict[tuple[str, int, str], dict] = {}
 
     @property
     def records(self) -> list[ShardRecord]:
@@ -184,6 +188,22 @@ class CorpusManifest:
         """Insert or replace one shard record."""
         self._records[(record.label, record.index)] = record
 
+    def add_quarantine(self, entry: dict) -> None:
+        """Record one quarantined vector.
+
+        ``entry`` carries ``label`` / ``index`` (the shard) plus ``key`` /
+        ``reason`` / ``detail`` (see
+        :class:`~repro.resilience.quarantine.QuarantineRecord`).  Entries are
+        deduplicated by ``(label, index, key)``, so merging two runs'
+        manifests cannot double-count a vector.
+        """
+        self._quarantined[(entry["label"], int(entry["index"]), entry["key"])] = dict(entry)
+
+    @property
+    def quarantined(self) -> list[dict]:
+        """All quarantine entries, ordered by (label, shard index, vector)."""
+        return [self._quarantined[key] for key in sorted(self._quarantined)]
+
     def completed_designs(self) -> list[str]:
         """Labels whose every shard is recorded as complete."""
         labels = []
@@ -194,12 +214,17 @@ class CorpusManifest:
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation of the whole manifest."""
+        # "quarantined" is always present (even when empty) so a clean run's
+        # manifest and a faulted-then-recovered run's manifest serialise to
+        # the same bytes whenever their contents agree — the byte-identity
+        # contract the chaos tests diff on.
         return {
             "version": MANIFEST_VERSION,
             "config_hash": self.config_hash,
             "git_rev": self.git_rev,
             "spec": self.spec.to_dict(),
             "shards": [record.to_dict() for record in self.records],
+            "quarantined": self.quarantined,
         }
 
     def save(self, path: Union[str, Path]) -> None:
@@ -227,6 +252,10 @@ class CorpusManifest:
             manifest.config_hash = payload["config_hash"]
         for entry in payload.get("shards", []):
             manifest.add(ShardRecord.from_dict(entry))
+        # Tolerant read: manifests written before the resilience layer have
+        # no "quarantined" key.
+        for entry in payload.get("quarantined", []):
+            manifest.add_quarantine(entry)
         return manifest
 
 
@@ -326,23 +355,42 @@ class ShardStore:
 
         The dataset is stored as an uncompressed ``.npz``
         (:meth:`~repro.workloads.dataset.NoiseDataset.save` with
-        ``compress=False``) via a temp file + ``os.replace``, so readers can
-        never observe a torn shard.
+        ``compress=False``) through
+        :func:`~repro.io.atomic.atomic_replace` (fsync + rename), so readers
+        can never observe a torn shard.  The
+        :meth:`~repro.faults.FaultInjector.during_shard_write` seam fires
+        between the temp-file write and the rename — the window a SIGKILL
+        tears in a non-atomic writer.
 
         Returns
         -------
         The shard's :func:`dataset_content_hash`.
         """
         path = self.shard_path(label, index)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temporary = path.with_name(f"{path.stem}.tmp-{os.getpid()}.npz")
-        dataset.save(temporary, compress=False)
-        os.replace(temporary, path)
+        with atomic_replace(path, suffix=".npz") as temporary:
+            dataset.save(temporary, compress=False)
+            faults.active().during_shard_write(label, index, temporary)
         return dataset_content_hash(dataset)
 
-    def read_shard(self, label: str, index: int) -> NoiseDataset:
-        """Load one shard back as a :class:`NoiseDataset`."""
-        return NoiseDataset.load(self.shard_path(label, index))
+    def read_shard(
+        self, label: str, index: int, expected_hash: Optional[str] = None
+    ) -> NoiseDataset:
+        """Load one shard back as a :class:`NoiseDataset`.
+
+        Raises
+        ------
+        repro.resilience.CorruptShardError
+            When the file is unreadable (truncated or bit-flipped archive);
+            ``expected_hash`` — the manifest's content hash, when the caller
+            has it — is named in the error.
+        """
+        path = self.shard_path(label, index)
+        try:
+            return NoiseDataset.load(path)
+        except Exception as error:
+            raise CorruptShardError(
+                path, expected_hash=expected_hash, reason=repr(error)
+            ) from error
 
     def has_shard(self, label: str, index: int) -> bool:
         """Whether the shard file exists on disk."""
@@ -386,9 +434,12 @@ def load_design_dataset(
     ------
     FileNotFoundError
         When the corpus has no manifest.
+    repro.resilience.CorruptShardError
+        When a shard file is unreadable, or (with ``verify``) its recomputed
+        content hash mismatches the manifest.  The error names the shard
+        path and both hashes.  (Subclasses :class:`ValueError`.)
     ValueError
-        When the design is unknown, shards are missing/incomplete, or
-        (with ``verify``) a shard hash mismatches.
+        When the design is unknown or shards are missing/incomplete.
     """
     store = ShardStore(root)
     manifest = store.load_manifest()
@@ -402,14 +453,15 @@ def load_design_dataset(
                 f"shard {index} of design {label!r} is incomplete; "
                 "re-run generate_corpus on this root to finish the corpus"
             )
-        shard = store.read_shard(label, index)
+        expected = manifest.get(label, index).content_hash
+        shard = store.read_shard(label, index, expected_hash=expected)
         if verify:
-            expected = manifest.get(label, index).content_hash
             actual = dataset_content_hash(shard)
             if actual != expected:
-                raise ValueError(
-                    f"content hash mismatch for shard {index} of {label!r}: "
-                    f"manifest says {expected[:12]}…, file hashes to {actual[:12]}…"
+                raise CorruptShardError(
+                    store.shard_path(label, index),
+                    expected_hash=expected,
+                    actual_hash=actual,
                 )
         shards.append(shard)
     return merge_datasets(shards)

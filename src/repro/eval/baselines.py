@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
-from repro.datagen.shards import atomic_write_text
+from repro.io.atomic import atomic_write_text
 from repro.utils import get_logger
 
 __all__ = [

@@ -28,15 +28,17 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.inference import NoisePredictor
 from repro.core.metrics import AccuracyReport, evaluate_predictions, hotspot_precision_recall
 from repro.datagen.engine import GenerationReport, generate_corpus
-from repro.datagen.shards import atomic_write_text, load_design_dataset
+from repro.datagen.shards import load_design_dataset
 from repro.eval.config import EvalConfig
 from repro.eval.training import MultiDesignTrainer
+from repro.io.atomic import atomic_write_text
 from repro.io.results import ExperimentRecord, format_table, latency_throughput_columns
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.resilience.retry import RetryPolicy, run_with_retry
 from repro.serving.registry import PredictorRegistry
 from repro.serving.service import ScreeningService
 from repro.utils import get_logger
@@ -186,11 +188,16 @@ class CrossDesignReport:
         Finished held-out evaluations, keyed by held-out label.
     git_rev:
         Revision stamp of the generating code (provenance, best effort).
+    quarantined:
+        Held-out rows that exhausted their retry budget, keyed by label:
+        ``{"error": repr, "attempts": n}``.  A resumed campaign re-attempts
+        them (the entry is dropped on success).
     """
 
     config_hash: str
     rows: dict[str, HeldoutEvaluation] = field(default_factory=dict)
     git_rev: str = "unknown"
+    quarantined: dict[str, dict] = field(default_factory=dict)
 
     def records(self) -> list[ExperimentRecord]:
         """All rows as :class:`ExperimentRecord` objects, in insertion order."""
@@ -204,6 +211,14 @@ class CrossDesignReport:
         """Per-held-out-design gated metrics (what baselines compare)."""
         return {label: row.gated_metrics() for label, row in self.rows.items()}
 
+    def health(self) -> dict:
+        """Campaign health summary: completed vs. quarantined rows."""
+        return {
+            "rows_completed": len(self.rows),
+            "rows_quarantined": len(self.quarantined),
+            "quarantined": dict(self.quarantined),
+        }
+
     def to_dict(self) -> dict:
         """JSON-serialisable representation of the whole artefact."""
         return {
@@ -211,6 +226,8 @@ class CrossDesignReport:
             "config_hash": self.config_hash,
             "git_rev": self.git_rev,
             "rows": {label: row.to_dict() for label, row in self.rows.items()},
+            "quarantined": dict(self.quarantined),
+            "health": self.health(),
         }
 
     def save(self, path: Union[str, Path]) -> None:
@@ -234,6 +251,9 @@ class CrossDesignReport:
         report = cls(config_hash=payload["config_hash"], git_rev=payload.get("git_rev", "unknown"))
         for label, row in payload.get("rows", {}).items():
             report.rows[label] = HeldoutEvaluation.from_dict(row)
+        # Tolerant read: artefacts written before the resilience layer have
+        # no quarantine section.
+        report.quarantined = dict(payload.get("quarantined", {}))
         return report
 
 
@@ -254,10 +274,22 @@ class CrossDesignEvaluator:
     workdir:
         Campaign root directory (created on demand).  Delete it to restart
         a campaign from scratch; everything inside is derived state.
+    retry:
+        Per-row retry budget (see
+        :class:`~repro.resilience.retry.RetryPolicy`).  A held-out row that
+        exhausts it is quarantined into the report's health section — with
+        its final error — instead of aborting the campaign; the next
+        resumed run re-attempts it.
     """
 
-    def __init__(self, config: EvalConfig, workdir: Union[str, Path]):
+    def __init__(
+        self,
+        config: EvalConfig,
+        workdir: Union[str, Path],
+        retry: RetryPolicy = RetryPolicy(),
+    ):
         self.config = config
+        self.retry = retry
         self.workdir = Path(workdir)
         self.corpus_root = self.workdir / "corpus"
         self.registry = PredictorRegistry(
@@ -314,6 +346,7 @@ class CrossDesignEvaluator:
         its vectors, not its normaliser scales; only its distance tensor is
         given to the predictor, exactly as a new design's geometry would be.
         """
+        faults.active().before_row(heldout)
         config = self.config
         trained_on = config.training_labels(heldout)
         datasets = self._load_datasets()
@@ -429,7 +462,11 @@ class CrossDesignEvaluator:
         Ensures the corpus, then evaluates every held-out design that the
         report artefact does not already contain, saving the artefact
         atomically after each row — killing the run loses at most the row in
-        flight, and a re-run picks up where it stopped.
+        flight, and a re-run picks up where it stopped.  Rows are retried
+        under the evaluator's :class:`~repro.resilience.retry.RetryPolicy`;
+        a row that exhausts it is quarantined into the report (and
+        re-attempted by the next resumed run) instead of aborting the rest
+        of the campaign.
 
         Parameters
         ----------
@@ -452,16 +489,42 @@ class CrossDesignEvaluator:
             if heldout in report.rows:
                 _LOG.info("heldout %s already evaluated; skipping", heldout)
                 continue
-            report.rows[heldout] = self.evaluate_heldout(heldout)
+            try:
+                row = run_with_retry(
+                    lambda label=heldout: self.evaluate_heldout(label),
+                    self.retry,
+                    describe=f"heldout {heldout}",
+                )
+            except Exception as error:
+                # Exhausted retries: quarantine the row, keep the campaign
+                # going.  WorkerKilled is a BaseException and still unwinds —
+                # a preempted campaign resumes, it does not half-report.
+                obs.metrics().counter("faults.quarantined_rows").inc()
+                report.quarantined[heldout] = {
+                    "error": repr(error),
+                    "attempts": self.retry.max_attempts,
+                }
+                _LOG.warning(
+                    "heldout %s quarantined after %d attempts: %r",
+                    heldout,
+                    self.retry.max_attempts,
+                    error,
+                )
+                self.workdir.mkdir(parents=True, exist_ok=True)
+                report.save(self.report_path)
+                continue
+            report.rows[heldout] = row
+            report.quarantined.pop(heldout, None)
             self.workdir.mkdir(parents=True, exist_ok=True)
             report.save(self.report_path)
         self.workdir.mkdir(parents=True, exist_ok=True)
         report.save(self.report_path)
         _LOG.info(
-            "campaign %s: %d/%d rows complete (%.1f s this run)",
+            "campaign %s: %d/%d rows complete, %d quarantined (%.1f s this run)",
             self.config.name,
             len(report.rows),
             len(self.config.heldout),
+            len(report.quarantined),
             time.perf_counter() - started,
         )
         return report

@@ -22,23 +22,25 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.core.metrics import hotspot_precision_recall
-from repro.datagen.shards import atomic_write_text
 from repro.eval.config import EvalConfig
+from repro.io.atomic import atomic_write_text
 from repro.io.results import ExperimentRecord, format_table
 from repro.pdn.designs import Design, design_from_name
+from repro.resilience.retry import RetryPolicy
 from repro.serving.registry import PredictorRegistry
 from repro.sim.dynamic_noise import DynamicNoiseAnalysis
 from repro.sim.transient import TransientOptions
-from repro import obs
+from repro import faults, obs
 from repro.utils import get_logger
 from repro.workloads.scenarios import build_scenario_trace
 from repro.workloads.specs import ScenarioLike, normalize_scenario
@@ -96,8 +98,18 @@ _WORKER_DESIGNS: dict[str, Design] = {}
 _WORKER_ANALYSES: dict[str, DynamicNoiseAnalysis] = {}
 
 
-def _worker_init(registry_root: str, references: dict[str, str], dt: float) -> None:
-    """Process-pool initializer: registry + design references, fresh caches."""
+def _worker_init(
+    registry_root: str,
+    references: dict[str, str],
+    dt: float,
+    faults_factory: Optional[Callable[[], "faults.FaultInjector"]] = None,
+) -> None:
+    """Process-pool initializer: registry + design references, fresh caches.
+
+    ``faults_factory`` mirrors the datagen engine's: when given, its product
+    is installed as the process-global fault injector so pooled sweep rows
+    script the same failures an inline run would.
+    """
     global _WORKER_REGISTRY, _WORKER_DT
     _WORKER_REGISTRY = PredictorRegistry(registry_root)
     _WORKER_REFERENCES.clear()
@@ -105,6 +117,8 @@ def _worker_init(registry_root: str, references: dict[str, str], dt: float) -> N
     _WORKER_DT = dt
     _WORKER_DESIGNS.clear()
     _WORKER_ANALYSES.clear()
+    if faults_factory is not None:
+        faults.install(faults_factory())
 
 
 def _worker_design(label: str) -> Design:
@@ -129,6 +143,7 @@ def _worker_analysis(label: str) -> DynamicNoiseAnalysis:
 def _run_sweep_job(job: SweepJob) -> dict:
     """Run one sweep job inside a worker; returns plain row fields."""
     assert _WORKER_REGISTRY is not None
+    faults.active().before_row(job.key)
     design = _worker_design(job.heldout)
     predictor = _WORKER_REGISTRY.get(job.heldout)
     trace = build_scenario_trace(
@@ -166,6 +181,19 @@ def _run_sweep_job(job: SweepJob) -> dict:
     }
 
 
+def _run_sweep_job_safe(job: SweepJob) -> dict:
+    """Run one job, converting errors into picklable failure outcomes.
+
+    Only :class:`Exception` is converted; an injected
+    :class:`~repro.faults.WorkerKilled` still unwinds the worker, exactly
+    like a real kill.
+    """
+    try:
+        return _run_sweep_job(job)
+    except Exception as error:
+        return {"failed": True, "key": job.key, "error": repr(error)}
+
+
 class ScenarioSweep:
     """Fans scenario-variant evaluations across a process pool, resumably.
 
@@ -178,12 +206,24 @@ class ScenarioSweep:
         The campaign workdir of the :class:`CrossDesignEvaluator` that
         trained the checkpoints; the sweep reads ``<workdir>/checkpoints``
         and writes ``<workdir>/sweep.json``.
+    retry:
+        Per-row retry budget (see
+        :class:`~repro.resilience.retry.RetryPolicy`).  Rows that exhaust
+        it are *quarantined* into the manifest — recorded with their final
+        error and re-attempted on the next resumed run — instead of killing
+        the sweep.
     """
 
-    def __init__(self, config: EvalConfig, workdir: Union[str, Path]):
+    def __init__(
+        self,
+        config: EvalConfig,
+        workdir: Union[str, Path],
+        retry: RetryPolicy = RetryPolicy(),
+    ):
         self.config = config
         self.workdir = Path(workdir)
         self.registry_root = self.workdir / "checkpoints"
+        self.retry = retry
 
     @property
     def manifest_path(self) -> Path:
@@ -230,13 +270,31 @@ class ScenarioSweep:
             )
         return dict(payload.get("rows", {}))
 
-    def _save_rows(self, rows: dict[str, dict]) -> None:
-        """Persist the manifest atomically."""
+    def load_quarantined(self) -> dict[str, dict]:
+        """Quarantined rows from the manifest: key -> {error, attempts}.
+
+        Empty when the manifest is missing or predates the resilience layer.
+        """
+        if not self.manifest_path.exists():
+            return {}
+        payload = json.loads(self.manifest_path.read_text())
+        return dict(payload.get("quarantined", {}))
+
+    def _save_rows(
+        self, rows: dict[str, dict], quarantined: Optional[dict[str, dict]] = None
+    ) -> None:
+        """Persist the manifest atomically (rows + quarantine + health)."""
         self.workdir.mkdir(parents=True, exist_ok=True)
+        quarantined = quarantined or {}
         payload = {
             "version": SWEEP_VERSION,
             "config_hash": self.config.config_hash(),
             "rows": rows,
+            "quarantined": quarantined,
+            "health": {
+                "rows_completed": len(rows),
+                "rows_quarantined": len(quarantined),
+            },
         }
         atomic_write_text(self.manifest_path, json.dumps(payload, indent=2, sort_keys=True))
 
@@ -245,31 +303,74 @@ class ScenarioSweep:
     # ------------------------------------------------------------------ #
 
     def run(
-        self, num_workers: Optional[int] = None, resume: bool = True
+        self,
+        num_workers: Optional[int] = None,
+        resume: bool = True,
+        faults_factory: Optional[Callable[[], "faults.FaultInjector"]] = None,
     ) -> list[ExperimentRecord]:
-        """Run (or finish) the sweep and return every row as a record.
+        """Run (or finish) the sweep and return every completed row as a record.
 
         Pending jobs fan out across worker processes (``0`` runs inline;
         platforms that refuse to spawn degrade to inline execution); the
         manifest is re-saved after every finished job, so an interrupted
-        sweep resumes from the last completed row.
+        sweep resumes from the last completed row.  Failed rows are retried
+        under the sweep's :class:`~repro.resilience.retry.RetryPolicy`; rows
+        that exhaust it are quarantined in the manifest (and re-attempted by
+        the next resumed run) rather than aborting the sweep.
         """
         jobs = self.jobs()
         rows = self.load_rows() if resume else {}
+        # Previously quarantined rows get a fresh chance each resumed run:
+        # the quarantine is rebuilt from this run's failures only.
+        quarantined: dict[str, dict] = {}
         pending = [job for job in jobs if job.key not in rows]
+        new_target = len(pending)
+        metrics = obs.metrics()
         if pending:
             references = {
                 heldout: self.config.design_reference(heldout)
                 for heldout in self.config.heldout
             }
-            for job, row in zip(
-                pending, self._run_jobs(pending, references, num_workers)
-            ):
-                rows[job.key] = row
-                self._save_rows(rows)
+            attempts: dict[str, int] = {}
+            wave = 0
+            while pending:
+                retry_next: list[SweepJob] = []
+                for job, outcome in zip(
+                    pending,
+                    self._run_jobs(pending, references, num_workers, faults_factory),
+                ):
+                    if outcome.get("failed"):
+                        attempts[job.key] = attempts.get(job.key, 0) + 1
+                        metrics.counter("faults.errors").inc()
+                        if attempts[job.key] >= self.retry.max_attempts:
+                            metrics.counter("faults.exhausted").inc()
+                            metrics.counter("faults.quarantined_rows").inc()
+                            quarantined[job.key] = {
+                                "error": outcome["error"],
+                                "attempts": attempts[job.key],
+                            }
+                            _LOG.warning(
+                                "sweep row %s quarantined after %d attempts: %s",
+                                job.key,
+                                attempts[job.key],
+                                outcome["error"],
+                            )
+                            self._save_rows(rows, quarantined)
+                        else:
+                            metrics.counter("faults.retries").inc()
+                            retry_next.append(job)
+                        continue
+                    rows[job.key] = outcome
+                    self._save_rows(rows, quarantined)
+                pending = retry_next
+                if pending:
+                    wave += 1
+                    delay = self.retry.delay(wave)
+                    if delay > 0:
+                        time.sleep(delay)
         else:
             _LOG.info("sweep already complete (%d rows)", len(rows))
-        self._save_rows(rows)
+        self._save_rows(rows, quarantined)
         records = [
             ExperimentRecord(
                 experiment="scenario_sweep",
@@ -277,11 +378,13 @@ class ScenarioSweep:
                 values=rows[job.key],
             )
             for job in jobs
+            if job.key in rows
         ]
         _LOG.info(
-            "scenario sweep: %d rows (%d new)\n%s",
+            "scenario sweep: %d rows (%d new, %d quarantined)\n%s",
             len(records),
-            len(pending),
+            new_target - len(quarantined),
+            len(quarantined),
             format_table(records, title="scenario sweep"),
         )
         return records
@@ -291,8 +394,14 @@ class ScenarioSweep:
         pending: list[SweepJob],
         references: dict[str, str],
         num_workers: Optional[int],
+        faults_factory: Optional[Callable[[], "faults.FaultInjector"]] = None,
     ):
-        """Yield one row per pending job, pooled when possible, else inline."""
+        """Yield one outcome per pending job, pooled when possible, else inline.
+
+        Job errors never propagate: workers run :func:`_run_sweep_job_safe`,
+        so a failed row becomes a ``failed`` outcome the caller's retry loop
+        handles.
+        """
         completed = 0
         if num_workers is None:
             num_workers = min(len(pending), os.cpu_count() or 1)
@@ -301,21 +410,26 @@ class ScenarioSweep:
                 pool = ProcessPoolExecutor(
                     max_workers=num_workers,
                     initializer=_worker_init,
-                    initargs=(str(self.registry_root), references, self.config.dt),
+                    initargs=(
+                        str(self.registry_root),
+                        references,
+                        self.config.dt,
+                        faults_factory,
+                    ),
                 )
             except (OSError, PermissionError, NotImplementedError) as error:
                 _LOG.warning("cannot create process pool (%s); sweeping inline", error)
             else:
                 with pool:
                     try:
-                        for row in pool.map(_run_sweep_job, pending):
+                        for row in pool.map(_run_sweep_job_safe, pending):
                             completed += 1
                             yield row
                         return
                     except (BrokenProcessPool, pickle.PicklingError) as error:
                         # Worker startup/transport failure, not a job failure
-                        # — job exceptions propagate unchanged.  Rows already
-                        # yielded stay recorded; the rest run inline.
+                        # — job errors are already failure outcomes.  Rows
+                        # already yielded stay recorded; the rest run inline.
                         _LOG.warning(
                             "process pool broke after %d/%d jobs (%s); "
                             "sweeping the rest inline",
@@ -323,6 +437,6 @@ class ScenarioSweep:
                             len(pending),
                             error,
                         )
-        _worker_init(str(self.registry_root), references, self.config.dt)
+        _worker_init(str(self.registry_root), references, self.config.dt, faults_factory)
         for job in pending[completed:]:
-            yield _run_sweep_job(job)
+            yield _run_sweep_job_safe(job)

@@ -30,7 +30,7 @@ from typing import List, Mapping, Optional, Union
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.core.model import WorstCaseNoiseNet
 from repro.core.training import LOSS_FUNCTIONS, TrainingHistory, _observe_epoch, note_epoch
@@ -263,7 +263,7 @@ class MultiDesignTrainer:
                     rng.shuffle(schedule)
 
                 epoch_loss = 0.0
-                for label, rows in schedule:
+                for step, (label, rows) in enumerate(schedule):
                     inputs, targets = train_parts[label]
                     optimizer.zero_grad()
                     with record_graph():
@@ -273,6 +273,7 @@ class MultiDesignTrainer:
                         loss = loss_function(prediction, targets[rows])
                         loss.backward()
                     optimizer.step()
+                    faults.active().on_train_step(epoch, step, self.model)
                     epoch_loss += loss.item() * len(rows)
                 epoch_loss /= num_train
                 _observe_epoch(

@@ -1,69 +1,15 @@
-"""Deterministic fault-injection seam for the gateway.
+"""Compatibility shim: the fault-injection seam now lives in :mod:`repro.faults`.
 
-Production code calls the hooks of a :class:`FaultInjector` at every point
-where a real deployment can fail: queue delivery, batch execution,
-checkpoint loading, and checkpoint swaps.  The default injector is inert —
-every hook is a no-op returning the undisturbed value — so the seam costs
-one method call per event.  The concurrency test suite under
-``tests/gateway/`` subclasses it to kill workers mid-batch, duplicate or
-delay deliveries, and fail checkpoint loads *deterministically* (no sleeps,
-no racing signal handlers), then asserts the gateway's invariants: no
-request lost, none double-answered, restarts back off, drain resolves every
-future.
-
-Hook contract:
-
-* :meth:`FaultInjector.on_dequeue` runs on the worker thread for each
-  request pulled from the shard inbox and returns the deliveries to
-  process — return the request twice to simulate a duplicated delivery,
-  return ``()`` and re-inject later (via the shard inbox) to delay it.
-* :meth:`FaultInjector.before_batch` runs once per micro-batch before any
-  prediction; raising :class:`WorkerKilled` here simulates a worker crash
-  with the batch in hand.
-* :meth:`FaultInjector.on_checkpoint_load` runs before a design's predictor
-  is fetched; raising simulates checkpoint corruption/IO failure and fails
-  only that design group, not the worker.
-* :meth:`FaultInjector.before_swap` runs as a shard applies a hot checkpoint
-  swap; raising fails the swap future without touching in-flight requests.
+The deterministic :class:`~repro.faults.FaultInjector` started life here as
+a gateway-only seam (PR 7); it has since been promoted to the shared
+:mod:`repro.faults` package so datagen, training, simulation and eval hook
+the same injector.  This module re-exports the gateway-facing names so
+existing imports keep working — new code should import from
+:mod:`repro.faults` directly.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from repro.faults import NULL_FAULTS, FaultInjector, WorkerKilled
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.gateway.messages import GatewayRequest
-
-
-class WorkerKilled(BaseException):
-    """Injected worker death.
-
-    Deliberately a :class:`BaseException`: the worker's per-group error
-    handling catches :class:`Exception` to keep one bad design from taking
-    the shard down, and a *kill* must not be swallowed by that handling —
-    it has to unwind the worker thread wherever it is raised, exactly like
-    a real crash would.
-    """
-
-
-class FaultInjector:
-    """No-op fault hooks; subclass and override to script failures."""
-
-    def on_dequeue(
-        self, shard_id: int, request: "GatewayRequest"
-    ) -> Sequence["GatewayRequest"]:
-        """Deliveries to process for one dequeued request (default: itself)."""
-        return (request,)
-
-    def before_batch(self, shard_id: int, requests: Sequence["GatewayRequest"]) -> None:
-        """Called with each micro-batch before prediction; raise to crash."""
-
-    def on_checkpoint_load(self, shard_id: int, design_name: str) -> None:
-        """Called before a predictor fetch; raise to fail the load."""
-
-    def before_swap(self, shard_id: int, design_name: str) -> None:
-        """Called as a shard applies a checkpoint swap; raise to fail it."""
-
-
-#: Shared inert injector used when no faults are configured.
-NULL_FAULTS = FaultInjector()
+__all__ = ["FaultInjector", "NULL_FAULTS", "WorkerKilled"]

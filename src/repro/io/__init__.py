@@ -1,5 +1,6 @@
-"""Result records, export helpers, and text renderings of maps/figures."""
+"""Result records, export helpers, atomic writes, and text map renderings."""
 
+from repro.io.atomic import atomic_replace, atomic_write_bytes, atomic_write_text
 from repro.io.results import (
     ExperimentRecord,
     ascii_heatmap,
@@ -12,6 +13,9 @@ from repro.io.results import (
 )
 
 __all__ = [
+    "atomic_replace",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "ExperimentRecord",
     "ascii_heatmap",
     "ascii_histogram",

@@ -1,0 +1,102 @@
+"""Atomic write-then-rename: the one durability primitive every artefact uses.
+
+Every resumable artefact in the repository — corpus manifests and shards,
+evaluation reports, sweep manifests, golden baselines, observability run
+reports, training checkpoints — must never be observable in a torn state:
+a reader sees either the previous complete version or the new complete
+version, and a writer killed at *any* instruction leaves at most a stray
+``*.tmp-<pid>`` file behind.  Historically each layer carried its own copy
+of the temp-file + ``os.replace`` dance; this module is the single shared
+implementation, hardened with ``fsync`` so a renamed artefact also survives
+power loss, not just process death.
+
+The pattern::
+
+    with atomic_replace(path, suffix=".npz") as temporary:
+        heavy_writer(temporary)          # may crash; target is untouched
+
+    atomic_write_text(path, "payload")   # the common text-file case
+
+``atomic_replace`` yields a temporary path *in the target's directory* (so
+the final ``os.replace`` is a same-filesystem atomic rename), fsyncs the
+written file, renames it over the target, and fsyncs the directory entry.
+On any exception the temporary is deleted and the target left untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["atomic_replace", "atomic_write_bytes", "atomic_write_text"]
+
+
+def _fsync_path(path: Path) -> None:
+    """Best-effort fsync of a file or directory by path.
+
+    Filesystems that refuse directory fsync (or files that vanished in a
+    race) must not fail the write — durability here is defence in depth on
+    top of the atomic rename, not a correctness requirement.
+    """
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
+@contextmanager
+def atomic_replace(path: Union[str, Path], suffix: str = "") -> Iterator[Path]:
+    """Yield a temporary path that atomically replaces ``path`` on success.
+
+    Parameters
+    ----------
+    path:
+        The target file.  Its parent directory is created on demand.
+    suffix:
+        Extension the temporary file must keep (e.g. ``".npz"`` so writers
+        that append their own extension — ``numpy.savez`` — write exactly
+        the yielded path).
+
+    Yields
+    ------
+    The temporary path, named ``<target>.tmp-<pid><suffix>`` in the target's
+    directory.  The caller writes it; on normal exit it is fsynced and
+    renamed over the target (whose directory entry is then fsynced too).
+    On an exception the temporary is removed and the target is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}{suffix}")
+    try:
+        yield temporary
+        _fsync_path(temporary)
+        os.replace(temporary, path)
+        _fsync_path(path.parent)
+    except BaseException:
+        temporary.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (see :func:`atomic_replace`)."""
+    with atomic_replace(path) as temporary:
+        temporary.write_bytes(data)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (see :func:`atomic_replace`).
+
+    The write convention every resumable artefact in the repository follows
+    (corpus manifests, evaluation reports, sweep manifests, baselines,
+    observability run reports): a reader can never observe a torn file, and
+    a killed writer leaves only a stray ``*.tmp-<pid>`` behind.
+    """
+    atomic_write_bytes(path, text.encode("utf-8"))

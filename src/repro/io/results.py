@@ -9,12 +9,15 @@ the figure-style outputs, so results can be inspected without matplotlib.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.io.atomic import atomic_write_text
 
 
 @dataclass
@@ -82,7 +85,7 @@ def _format_value(value) -> str:
 
 
 def write_csv(records: Sequence[ExperimentRecord], path: Union[str, Path]) -> None:
-    """Write records to a CSV file (one column per value key).
+    """Write records to a CSV file atomically (one column per value key).
 
     Records are allowed to carry different value keys (e.g. solver-specific
     diagnostics); the header is the union of all keys and missing cells are
@@ -95,18 +98,18 @@ def write_csv(records: Sequence[ExperimentRecord], path: Union[str, Path]) -> No
         for key in record.as_flat_dict().keys():
             if key not in fieldnames:
                 fieldnames.append(key)
-    with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
-        writer.writeheader()
-        for record in records:
-            writer.writerow(record.as_flat_dict())
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record.as_flat_dict())
+    atomic_write_text(path, buffer.getvalue())
 
 
 def write_json(records: Sequence[ExperimentRecord], path: Union[str, Path]) -> None:
-    """Write records to a JSON file."""
+    """Write records to a JSON file atomically."""
     payload = [record.as_flat_dict() for record in records]
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=_json_default)
+    atomic_write_text(path, json.dumps(payload, indent=2, default=_json_default))
 
 
 def _json_default(value):

@@ -92,6 +92,43 @@ class Optimizer:
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # -- checkpointing ---------------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        """Copy of the optimiser state (flat buffers + counters).
+
+        The layout is what training checkpoints persist; restoring it with
+        :meth:`load_state_dict` into a freshly-built optimiser over the same
+        parameter list makes the next :meth:`step` bit-identical to one of
+        an uninterrupted run.
+        """
+        return {"kind": type(self).__name__.lower()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Raises
+        ------
+        ValueError
+            When the state belongs to a different optimiser kind or a
+            different parameter layout (flat-buffer size mismatch).
+        """
+        if state.get("kind") != type(self).__name__.lower():
+            raise ValueError(
+                f"optimizer state is for {state.get('kind')!r}, "
+                f"not {type(self).__name__.lower()!r}"
+            )
+
+    def _check_flat(self, name: str, value: np.ndarray) -> np.ndarray:
+        """Validate one flat state buffer against this optimiser's layout."""
+        flat = np.asarray(value, dtype=np.float64).reshape(-1)
+        if flat.size != self._num_scalars:
+            raise ValueError(
+                f"optimizer state buffer {name!r} has {flat.size} scalars, "
+                f"parameters need {self._num_scalars}"
+            )
+        return flat
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -111,6 +148,17 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity_flat, self._velocity = self._flat_state()
+
+    def state_dict(self) -> dict:
+        """Copy of the momentum buffer (see :meth:`Optimizer.state_dict`)."""
+        state = super().state_dict()
+        state["velocity"] = self._velocity_flat.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the momentum buffer in place (views stay valid)."""
+        super().load_state_dict(state)
+        self._velocity_flat[:] = self._check_flat("velocity", state["velocity"])
 
     def step(self) -> None:
         """Apply one update using the currently accumulated gradients.
@@ -162,6 +210,23 @@ class Adam(Optimizer):
         self._step_count = 0
         self._first_moment_flat, self._first_moment = self._flat_state()
         self._second_moment_flat, self._second_moment = self._flat_state()
+
+    def state_dict(self) -> dict:
+        """Copy of the Adam moments + step count (see :meth:`Optimizer.state_dict`)."""
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["first_moment"] = self._first_moment_flat.copy()
+        state["second_moment"] = self._second_moment_flat.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments and step count in place (views stay valid)."""
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._first_moment_flat[:] = self._check_flat("first_moment", state["first_moment"])
+        self._second_moment_flat[:] = self._check_flat(
+            "second_moment", state["second_moment"]
+        )
 
     def step(self) -> None:
         """Apply one Adam update using the currently accumulated gradients.

@@ -1,0 +1,81 @@
+"""Quarantine records: poisoned work units become data, not crashes.
+
+A non-converging transient solve or an injected NaN used to take a whole
+datagen run down; an eval row whose solve fails used to kill the sweep.
+The resilience layer instead *quarantines* the poisoned unit: the bad
+vector (or row) is dropped from the artefact, and a
+:class:`QuarantineRecord` naming it — with the reason — is stored alongside
+the clean results (in the corpus manifest's ``quarantined`` list, or the
+sweep/report health sections).  Quarantine is loud by construction: the
+records survive in the artefact, the ``faults.quarantined`` counter ticks,
+and the loaders expose them, so silently shrinking datasets cannot pass for
+healthy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = ["QuarantineRecord", "poisoned_sample_indices"]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined unit of work.
+
+    Attributes
+    ----------
+    kind:
+        What was quarantined: ``"vector"`` (a datagen sample) or ``"row"``
+        (an eval row).
+    key:
+        Stable identifier — a vector name like ``small-v0003`` or a sweep
+        job key.
+    reason:
+        Machine-readable cause: ``"nonfinite_label"``,
+        ``"nonfinite_currents"``, ``"exhausted_retries"``.
+    detail:
+        Free-form context (e.g. the repr of the final error).
+    """
+
+    kind: str
+    key: str
+    reason: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuarantineRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**payload)
+
+
+def poisoned_sample_indices(dataset) -> list[tuple[int, str]]:
+    """Positions of poisoned samples in a dataset, with reasons.
+
+    A sample is poisoned when its ground-truth noise map or its current maps
+    contain non-finite values — what a non-converging (or blown-up) solver
+    run and injected NaNs both look like by the time labels exist.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.workloads.dataset.NoiseDataset` (duck-typed: only
+        ``samples`` with ``target`` / ``features.current_maps`` are read).
+
+    Returns
+    -------
+    ``[(position, reason), ...]`` in sample order; empty when clean.
+    """
+    poisoned = []
+    for position, sample in enumerate(dataset.samples):
+        if not np.all(np.isfinite(sample.target)):
+            poisoned.append((position, "nonfinite_label"))
+        elif not np.all(np.isfinite(sample.features.current_maps)):
+            poisoned.append((position, "nonfinite_currents"))
+    return poisoned

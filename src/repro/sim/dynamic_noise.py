@@ -19,7 +19,7 @@ import numpy as np
 from repro.pdn.designs import Design
 from repro.sim.transient import TransientEngine, TransientOptions, TransientResult
 from repro.sim.waveform import CurrentTrace, per_tile_maximum
-from repro import obs
+from repro import faults, obs
 from repro.utils import Timer, check_positive, get_logger
 
 _LOG = get_logger("sim.dynamic_noise")
@@ -129,6 +129,7 @@ class DynamicNoiseAnalysis:
         ``runtime_seconds`` measuring the transient integration plus the
         per-tile reduction.
         """
+        faults.active().before_solve(self._design.name, 1)
         timer = Timer()
         with timer.measure():
             transient: TransientResult = self._engine.run(trace)
@@ -175,6 +176,7 @@ class DynamicNoiseAnalysis:
         traces = list(traces)
         if not traces:
             return []
+        faults.active().before_solve(self._design.name, len(traces))
         timer = Timer()
         with timer.measure():
             transients = self._engine.run_many(traces, batch_size=batch_size)

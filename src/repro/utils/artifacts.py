@@ -6,31 +6,20 @@ follows the same two conventions: files are written atomically (temp file +
 ``os.replace``) so a reader can never observe a torn artefact, and each
 artefact stamps the git revision of the generating code for provenance.
 Both helpers lived in :mod:`repro.datagen.shards` historically (which still
-re-exports them); they are housed here so layers below the datagen stack,
-notably :mod:`repro.obs`, can share them without import cycles.
+re-exports them).  The atomic-write implementation itself now lives in
+:mod:`repro.io.atomic` (fsync + ``os.replace``); this module re-exports it
+for the layers that import it from here, and keeps :func:`git_revision`.
 """
 
 from __future__ import annotations
 
-import os
 import subprocess
 from pathlib import Path
 from typing import Union
 
+from repro.io.atomic import atomic_write_text
+
 __all__ = ["atomic_write_text", "git_revision"]
-
-
-def atomic_write_text(path: Path, text: str) -> None:
-    """Write a text file atomically (temp file in-directory + replace).
-
-    The write convention every resumable artefact in the repository follows
-    (corpus manifests, evaluation reports, sweep manifests, baselines,
-    observability run reports): a reader can never observe a torn file, and
-    a killed writer leaves only a stray ``*.tmp-<pid>`` behind.
-    """
-    temporary = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    temporary.write_text(text)
-    os.replace(temporary, path)
 
 
 def git_revision(repo_root: Union[str, Path, None] = None) -> str:

@@ -1,0 +1,88 @@
+"""Regression tests for repro.io.atomic — the shared write-then-rename helper.
+
+Every resumable artefact (manifests, shards, reports, checkpoints) routes
+through these three functions, so their contract — readers never observe a
+torn file, a crashed writer leaves the target untouched — is pinned here
+once instead of per-artefact.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.io.atomic import atomic_replace, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicReplace:
+    def test_writes_target_on_success(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        with atomic_replace(target) as temporary:
+            temporary.write_text("payload")
+        assert target.read_text() == "payload"
+
+    def test_temporary_lives_in_target_directory(self, tmp_path):
+        # Same directory => os.replace is a same-filesystem atomic rename.
+        target = tmp_path / "deep" / "artifact.bin"
+        with atomic_replace(target) as temporary:
+            assert temporary.parent == target.parent
+            assert f".tmp-{os.getpid()}" in temporary.name
+            temporary.write_bytes(b"x")
+
+    def test_suffix_is_preserved_on_temporary(self, tmp_path):
+        # numpy.savez appends ".npz" unless the path already ends with it —
+        # the suffix knob is what keeps the write landing on the yielded path.
+        with atomic_replace(tmp_path / "shard.npz", suffix=".npz") as temporary:
+            assert temporary.name.endswith(".npz")
+            temporary.write_bytes(b"x")
+
+    def test_exception_preserves_previous_version(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("previous")
+        with pytest.raises(RuntimeError):
+            with atomic_replace(target) as temporary:
+                temporary.write_text("half-writ")
+                raise RuntimeError("killed mid-write")
+        assert target.read_text() == "previous"
+
+    def test_exception_cleans_up_temporary(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        with pytest.raises(RuntimeError):
+            with atomic_replace(target) as temporary:
+                temporary.write_text("half-writ")
+                raise RuntimeError("killed mid-write")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c.txt"
+        with atomic_replace(target) as temporary:
+            temporary.write_text("deep")
+        assert target.read_text() == "deep"
+
+    def test_overwrites_existing_target(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old")
+        with atomic_replace(target) as temporary:
+            temporary.write_text("new")
+        assert target.read_text() == "new"
+
+
+class TestAtomicWriteHelpers:
+    def test_write_text_round_trip(self, tmp_path):
+        target = tmp_path / "note.txt"
+        atomic_write_text(target, "héllo ∞")
+        assert target.read_text(encoding="utf-8") == "héllo ∞"
+
+    def test_write_bytes_round_trip(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01\xff")
+        assert target.read_bytes() == b"\x00\x01\xff"
+
+    def test_write_text_accepts_str_path(self, tmp_path):
+        target = str(tmp_path / "note.txt")
+        atomic_write_text(target, "str path")
+        assert Path(target).read_text() == "str path"
+
+    def test_no_stray_temporaries_after_success(self, tmp_path):
+        atomic_write_text(tmp_path / "note.txt", "clean")
+        assert [p.name for p in tmp_path.iterdir()] == ["note.txt"]

@@ -1,0 +1,64 @@
+"""Fixtures for the resilience suite.
+
+The fault-injection layer keeps one process-global injector and the
+observability context keeps process-global counters; every test here runs
+between resets of both, so no scripted fault or counter value can leak into
+a neighbouring test.  A tiny one-design corpus spec is shared as a factory
+(specs are frozen, so tests can't corrupt each other's copy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.datagen import CorpusDesignSpec, CorpusSpec
+
+
+@pytest.fixture(autouse=True)
+def pristine_faults():
+    """Restore the inert injector and a fresh metrics context around every test.
+
+    Observability is switched *on* for the test body — the suite asserts
+    ``faults.*`` counter values, which the disabled default's null registry
+    would silently swallow.
+    """
+    faults.install(None)
+    obs.reset()
+    obs.configure(enabled=True)
+    yield
+    faults.install(None)
+    obs.reset()
+
+
+def tiny_spec(num_vectors: int = 4, shard_size: int = 2, seed: int = 3) -> CorpusSpec:
+    """A one-design corpus small enough to regenerate many times per test."""
+    return CorpusSpec(
+        designs=(
+            CorpusDesignSpec(
+                label="small",
+                design="small@6",
+                num_vectors=num_vectors,
+                num_steps=24,
+                shard_size=shard_size,
+                seed=seed,
+            ),
+        ),
+        sim_batch_size=4,
+    )
+
+
+@pytest.fixture()
+def make_spec():
+    """Factory for the tiny one-design corpus spec."""
+    return tiny_spec
+
+
+@pytest.fixture()
+def counter_value():
+    """Reader for a counter's current value in the active metrics registry."""
+
+    def read(name: str) -> int:
+        return obs.metrics().counter(name).value
+
+    return read
