@@ -15,6 +15,12 @@ design:
 It also asserts the two properties the serving layer promises: batched
 predictions match the sequential ones within 1e-8, and service throughput is
 at least 3x the sequential loop.
+
+A second report compares serving *precision*: the same checkpoint served at
+float64 (the default) and float32 (the kernel-dispatch fast path) over the
+GEMM-dominated batched forward.  float32 must be at least 2x faster at
+matching accuracy — the headline guarantee of the ``repro.nn.kernels``
+dispatch layer (see ``docs/kernels.md``).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ from repro.features.extraction import (
     extract_vector_features,
 )
 from repro.io import ExperimentRecord, latency_throughput_columns
+from repro.nn import no_grad
 from repro.obs import MetricsRegistry
 from repro.pdn import small_test_design
 from repro.serving import PredictorRegistry, ScreeningService
@@ -45,6 +52,19 @@ from repro.workloads.vectors import VectorConfig
 NUM_VECTORS = 48
 MAX_BATCH = 16
 ROUNDS = 3
+
+#: GEMM-dominated fixture for the float32-vs-float64 comparison: tiles and
+#: kernel counts large enough that the convolution GEMMs dominate wall time
+#: (on tiny fixtures the dtype-independent framework overhead hides the
+#: single-precision win).  Calibrated so one float64 round takes ~0.15 s.
+DTYPE_TILE = 16
+DTYPE_KERNELS = 8
+DTYPE_BUMPS = 24
+DTYPE_VECTORS = 32
+DTYPE_STAMPS = 12
+DTYPE_ROUNDS = 5
+#: The kernel-dispatch layer's headline guarantee (also enforced in CI).
+MIN_DTYPE_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -227,3 +247,123 @@ def test_predict_throughput(benchmark, serving_setup, mode):
         run = lambda: predictor.predict_batch(features, max_batch=MAX_BATCH)
     results = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(results) == len(features)
+
+
+def _dtype_predictor(dtype: str) -> NoisePredictor:
+    """A predictor over the GEMM-dominated dtype fixture, served at ``dtype``.
+
+    Both precisions are built from the *same* float64 weights (seeded model
+    construction), so their outputs are directly comparable — the only
+    difference is the precision the kernels run at.
+    """
+    model = WorstCaseNoiseNet(
+        num_bumps=DTYPE_BUMPS,
+        config=ModelConfig(
+            distance_kernels=DTYPE_KERNELS,
+            fusion_kernels=DTYPE_KERNELS,
+            prediction_kernels=DTYPE_KERNELS,
+            seed=7,
+        ),
+    )
+    rng = np.random.default_rng(13)
+    distance = rng.uniform(200.0, 4000.0, size=(DTYPE_BUMPS, DTYPE_TILE, DTYPE_TILE))
+    normalizer = FeatureNormalizer(
+        current_scale=0.05, distance_scale=1000.0, noise_scale=0.15
+    )
+    return NoisePredictor(
+        model=model,
+        normalizer=normalizer,
+        distance=distance,
+        compression_rate=0.3,
+        dtype=dtype,
+    )
+
+
+def test_dtype_throughput_report(benchmark):
+    """float32 serving >= 2x float64 on the batched forward, same answers.
+
+    Times the dense batched forward (``forward_batch`` with a precomputed
+    reduced-distance map — exactly the per-chunk hot path inside
+    ``predict_batch``) at both serving precisions, appends a dtype row to
+    ``BENCH_serving.json``, and gates the speedup plus output parity.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rng = np.random.default_rng(29)
+    currents64 = rng.normal(
+        0.0, 1.0, size=(DTYPE_VECTORS, DTYPE_STAMPS, DTYPE_TILE, DTYPE_TILE)
+    )
+
+    def best_of(runs, body):
+        times, result = [], None
+        for _ in range(runs):
+            timer = Timer()
+            with timer.measure():
+                result = body()
+            times.append(timer.last)
+        return min(times), result
+
+    records, seconds, outputs = [], {}, {}
+    for dtype in ("float64", "float32"):
+        predictor = _dtype_predictor(dtype)
+        currents = currents64.astype(predictor.dtype)
+        with no_grad():
+            reduced = predictor.model.reduce_distance(predictor._normalized_distance)
+
+            def forward():
+                return predictor.model.forward_batch(
+                    currents, predictor._normalized_distance, reduced_distance=reduced
+                ).data
+
+            forward()  # warm the workspace pool at this (shape, dtype)
+            elapsed, noise_maps = best_of(DTYPE_ROUNDS, forward)
+        assert noise_maps.dtype == np.dtype(dtype)
+        seconds[dtype] = elapsed
+        outputs[dtype] = noise_maps
+        records.append(
+            ExperimentRecord(
+                "serving_dtype",
+                f"forward_batch_{dtype}",
+                {
+                    "dtype": dtype,
+                    "total_s": elapsed,
+                    "vectors_per_sec": DTYPE_VECTORS / elapsed,
+                },
+            )
+        )
+
+    speedup = seconds["float64"] / seconds["float32"]
+    for record in records:
+        record.values["speedup_vs_float64"] = (
+            seconds["float64"] / record.values["total_s"]
+        )
+    save_records(
+        records, "serving_dtype", "Serving precision — float32 vs float64 forward"
+    )
+    append_trajectory(
+        "serving",
+        {
+            "timestamp": time.time(),
+            "git_rev": git_revision(REPO_ROOT),
+            "dtype_fixture": {
+                "tile": DTYPE_TILE,
+                "kernels": DTYPE_KERNELS,
+                "num_vectors": DTYPE_VECTORS,
+                "num_stamps": DTYPE_STAMPS,
+            },
+            "float64_s": seconds["float64"],
+            "float32_s": seconds["float32"],
+            "dtype_speedup": speedup,
+            "min_dtype_speedup": MIN_DTYPE_SPEEDUP,
+        },
+    )
+
+    # Same checkpoint, same inputs: float32 answers must match float64 to
+    # single-precision rounding (measured max relative error ~2e-5).
+    np.testing.assert_allclose(
+        outputs["float32"], outputs["float64"], rtol=1e-3, atol=1e-4
+    )
+    # The kernel-dispatch headline: float32 inference >= 2x float64.
+    assert speedup >= MIN_DTYPE_SPEEDUP, (
+        f"float32 serving is only {speedup:.2f}x float64 "
+        f"(needs >= {MIN_DTYPE_SPEEDUP}x)"
+    )

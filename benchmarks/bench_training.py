@@ -187,6 +187,10 @@ def test_training_speedup_and_curve_equivalence(benchmark):
             "timestamp": time.time(),
             "git_rev": git_revision(REPO_ROOT),
             "epochs": EPOCHS,
+            # Training always runs at float64 (the engine enforces it); the
+            # column exists so the trajectory stays comparable if that ever
+            # changes.
+            "dtype": "float64",
             "results": {str(batch_size): speedups[batch_size] for batch_size in BATCH_SIZES},
         },
         header=_TRAJECTORY_HEADER,

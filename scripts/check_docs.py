@@ -38,12 +38,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 #: Markdown files whose links are validated.
 LINKED_FILES = ("README.md", "DESIGN.md", "docs/api.md", "docs/data-pipeline.md",
                 "docs/tutorial.md", "docs/evaluation.md", "docs/workloads.md",
-                "docs/observability.md", "docs/serving.md", "docs/resilience.md")
+                "docs/observability.md", "docs/serving.md", "docs/resilience.md",
+                "docs/kernels.md")
 
 #: Packages / modules whose public symbols must be documented.
 COVERED_PACKAGES = ("repro.serving", "repro.datagen", "repro.core.training",
                     "repro.eval", "repro.workloads", "repro.obs", "repro.gateway",
-                    "repro.faults", "repro.resilience")
+                    "repro.faults", "repro.resilience", "repro.nn.kernels")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 

@@ -75,20 +75,35 @@ def main(argv: list[str] | None = None) -> int:
         "warning (the CI mode; without this flag a missing baseline is "
         "only a warning)",
     )
+    parser.add_argument(
+        "--serving-dtype", default="float64", choices=("float64", "float32"),
+        help="precision the held-out screening runs at (training is always "
+        "float64); float32 is gated against the same golden numbers via the "
+        "baseline's per-dtype tolerance bands (default: float64)",
+    )
     args = parser.parse_args(argv)
 
     config = budget(args.budget)
-    workdir = args.workdir or (REPO_ROOT / "eval" / "runs" / config.name)
+    # A non-default serving dtype gets its own workdir: report.json rows are
+    # measured at one precision and must not be resumed at another.
+    default_dir = config.name if args.serving_dtype == "float64" else (
+        f"{config.name}-{args.serving_dtype}"
+    )
+    workdir = args.workdir or (REPO_ROOT / "eval" / "runs" / default_dir)
 
     # The campaign runs inside a telemetry run: every layer's metrics and
     # spans (including pool workers') merge into <workdir>/obs/run_report.json,
     # which scripts/obs_report.py renders (and CI exercises on every push).
     obs.start_run(
         workdir / "obs",
-        config={"budget": config.name, "config_hash": config.config_hash()},
+        config={
+            "budget": config.name,
+            "config_hash": config.config_hash(),
+            "serving_dtype": args.serving_dtype,
+        },
     )
     try:
-        evaluator = CrossDesignEvaluator(config, workdir)
+        evaluator = CrossDesignEvaluator(config, workdir, serving_dtype=args.serving_dtype)
         report = evaluator.run(num_workers=args.num_workers, resume=not args.fresh)
         print(report.table())
 
@@ -103,6 +118,10 @@ def main(argv: list[str] | None = None) -> int:
     store = BaselineStore(args.baselines)
     metrics = report.gated_metrics()
     if args.update_baseline:
+        if args.serving_dtype != "float64":
+            print("ERROR: golden baselines are measured at float64; "
+                  "re-run --update-baseline without --serving-dtype")
+            return 1
         path = store.save(
             config.name, metrics, config.config_hash(), git_rev=report.git_rev
         )
@@ -118,7 +137,9 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"WARNING: {message}")
         return 0
-    drift = store.compare(config.name, metrics, config.config_hash())
+    drift = store.compare(
+        config.name, metrics, config.config_hash(), dtype=args.serving_dtype
+    )
     print(drift.summary())
     return 0 if drift.passed else 1
 

@@ -24,7 +24,7 @@ from repro.features.extraction import (
     VectorFeatures,
     extract_vector_features,
 )
-from repro.nn import load_checkpoint, load_extras, no_grad, save_checkpoint
+from repro.nn import kernels, load_checkpoint, load_extras, no_grad, save_checkpoint
 from repro.pdn.designs import Design
 from repro.sim.waveform import CurrentTrace
 from repro.utils import Timer, check_non_negative, check_positive
@@ -67,6 +67,12 @@ class NoisePredictor:
         The design's distance tensor ``(B, m, n)`` in um.
     compression_rate / rate_step:
         Algorithm-1 parameters applied to incoming traces.
+    dtype:
+        Serving precision (a :mod:`repro.nn.kernels` dtype).  ``"float64"``
+        (default) is the bit-exact reference; ``"float32"`` casts the model
+        in place and runs the forward pass end to end in single precision
+        (~2x throughput).  Predicted noise maps are always returned as
+        float64 volts.
     """
 
     def __init__(
@@ -76,8 +82,10 @@ class NoisePredictor:
         distance: np.ndarray,
         compression_rate: Optional[float] = 0.3,
         rate_step: float = 0.05,
+        dtype: Union[str, np.dtype] = "float64",
     ):
-        self.model = model
+        self.dtype = kernels.canonical_dtype(dtype)
+        self.model = model.astype(self.dtype)
         self.normalizer = normalizer
         self.distance = np.asarray(distance, dtype=float)
         if self.distance.ndim != 3:
@@ -88,9 +96,26 @@ class NoisePredictor:
             )
         self.compression_rate = compression_rate
         self.rate_step = rate_step
-        self._normalized_distance = normalizer.normalize_distance(self.distance)
+        self._normalized_distance = np.asarray(
+            normalizer.normalize_distance(self.distance), dtype=self.dtype
+        )
         self._fingerprint: Optional[tuple] = None
         self._reduced_distance: Optional[tuple] = None
+
+    @property
+    def serving_dtype(self) -> str:
+        """Serving precision as a canonical string (``"float32"``/``"float64"``)."""
+        return self.dtype.name
+
+    def _cast_input(self, normalized):
+        """Coerce a normalised input (array or ragged list) to the serving dtype.
+
+        A no-op (no copy) at float64; the float32 path pays one cast per
+        input and then stays single-precision through the whole network.
+        """
+        if isinstance(normalized, list):
+            return [np.asarray(item, dtype=self.dtype) for item in normalized]
+        return np.asarray(normalized, dtype=self.dtype)
 
     def _weights_token(self) -> tuple:
         """Cheap validity token for the memoised derived values.
@@ -113,6 +138,7 @@ class NoisePredictor:
             self.normalizer.noise_scale,
             self.compression_rate,
             self.rate_step,
+            self.serving_dtype,
         )
         return (arrays, settings)
 
@@ -132,8 +158,10 @@ class NoisePredictor:
         """Content hash of weights, normaliser, distance and settings.
 
         Serving layers use this as the predictor *version*: any retrain,
-        renormalisation or settings change yields a different fingerprint, so
-        cached predictions can never be served across model updates.
+        renormalisation, settings change *or serving-precision change* yields
+        a different fingerprint, so cached predictions can never be served
+        across model updates or across precisions (the same checkpoint served
+        at float32 and float64 produces different, separately-cached results).
         """
         token = self._weights_token()
         if not self._token_current(self._fingerprint, token):
@@ -143,6 +171,7 @@ class NoisePredictor:
                 digest.update(np.ascontiguousarray(value).tobytes())
             digest.update(json.dumps(self.normalizer.to_dict(), sort_keys=True).encode())
             digest.update(repr((self.compression_rate, self.rate_step)).encode())
+            digest.update(self.serving_dtype.encode())
             digest.update(np.ascontiguousarray(self.distance).tobytes())
             self._fingerprint = (token, digest.hexdigest())
         return self._fingerprint[1]
@@ -155,7 +184,9 @@ class NoisePredictor:
         """Predict from pre-extracted features (tiled current maps)."""
         timer = Timer()
         with timer.measure():
-            normalized_currents = self.normalizer.normalize_currents(features.current_maps)
+            normalized_currents = self._cast_input(
+                self.normalizer.normalize_currents(features.current_maps)
+            )
             with no_grad():
                 prediction = self.model(normalized_currents, self._normalized_distance)
             noise_map = self.normalizer.denormalize_noise(prediction.numpy())
@@ -209,8 +240,10 @@ class NoisePredictor:
             chunk = features[start : start + int(max_batch)]
             timer = Timer()
             with timer.measure():
-                normalized = self.normalizer.normalize_current_batch(
-                    [item.current_maps for item in chunk]
+                normalized = self._cast_input(
+                    self.normalizer.normalize_current_batch(
+                        [item.current_maps for item in chunk]
+                    )
                 )
                 with no_grad():
                     prediction = self.model.forward_batch(
@@ -258,11 +291,17 @@ class NoisePredictor:
     # ------------------------------------------------------------------ #
 
     def save(self, path: Union[str, Path]) -> None:
-        """Save weights, normaliser, settings and distance tensor to one ``.npz``."""
+        """Save weights, normaliser, settings and distance tensor to one ``.npz``.
+
+        Weights are stored as float64 master copies regardless of the serving
+        dtype (the upcast is lossless); the serving dtype itself is recorded
+        in the metadata so :meth:`load` restores the same precision.
+        """
         metadata = {
             "normalizer": self.normalizer.to_dict(),
             "compression_rate": self.compression_rate,
             "rate_step": self.rate_step,
+            "serving_dtype": self.serving_dtype,
             "num_bumps": self.model.num_bumps,
             "model_config": {
                 "distance_kernels": self.model.config.distance_kernels,
@@ -280,12 +319,16 @@ class NoisePredictor:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "NoisePredictor":
+    def load(
+        cls, path: Union[str, Path], dtype: Optional[Union[str, np.dtype]] = None
+    ) -> "NoisePredictor":
         """Restore a predictor saved with :meth:`save`.
 
         Current checkpoints are self-contained; the legacy layout that kept
         the distance tensor in a ``<name>.distance.npz`` sidecar next to the
-        weights is still read transparently.
+        weights is still read transparently.  ``dtype`` overrides the serving
+        precision; otherwise the checkpoint's recorded ``serving_dtype`` is
+        used (float64 for checkpoints written before dtype was recorded).
         """
         path = Path(path)
         with np.load(path, allow_pickle=False) as data:
@@ -313,4 +356,5 @@ class NoisePredictor:
             distance=distance,
             compression_rate=metadata["compression_rate"],
             rate_step=metadata["rate_step"],
+            dtype=dtype if dtype is not None else metadata.get("serving_dtype", "float64"),
         )

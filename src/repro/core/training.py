@@ -279,7 +279,20 @@ class NoiseModelTrainer:
 
         Dispatches to the batched engine, or to the bit-exact sequential
         per-sample loop when ``training_config.sequential`` is set.
+
+        Training runs in float64 only — gradcheck coverage, optimizer state
+        and convergence baselines all assume full precision; float32 is an
+        inference-only precision (cast after training via
+        ``model.astype("float32")`` or serve with
+        ``NoisePredictor(dtype="float32")``).
         """
+        for name, parameter in self.model.named_parameters():
+            if parameter.data.dtype != np.float64:
+                raise TypeError(
+                    f"training requires float64 parameters, but {name!r} is "
+                    f"{parameter.data.dtype.name}; cast the model back with "
+                    "model.astype('float64') — float32 is an inference-only dtype"
+                )
         if self.training_config.sequential:
             return self._train_sequential()
         return self._train_batched()

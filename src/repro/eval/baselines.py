@@ -122,17 +122,25 @@ class DriftReport:
 
 @dataclass
 class Baseline:
-    """One golden baseline, as stored on disk."""
+    """One golden baseline, as stored on disk.
+
+    ``dtype_tolerances`` optionally maps a serving-dtype name (e.g.
+    ``"float32"``) to per-metric bands that *override* ``tolerances`` when
+    comparing a campaign served at that precision — low-precision inference
+    is gated against the same golden float64 numbers, just with bands wide
+    enough to absorb the expected rounding drift (and nothing more).
+    """
 
     name: str
     config_hash: str
     metrics: dict[str, dict[str, float]]
     tolerances: dict[str, dict[str, float]]
     git_rev: str = "unknown"
+    dtype_tolerances: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation (including the content hash)."""
-        return {
+        payload = {
             "version": BASELINE_VERSION,
             "name": self.name,
             "config_hash": self.config_hash,
@@ -141,6 +149,9 @@ class Baseline:
             "metrics": self.metrics,
             "tolerances": self.tolerances,
         }
+        if self.dtype_tolerances:
+            payload["dtype_tolerances"] = self.dtype_tolerances
+        return payload
 
 
 class BaselineStore:
@@ -173,6 +184,7 @@ class BaselineStore:
         config_hash: str,
         tolerances: Optional[Mapping[str, Mapping[str, float]]] = None,
         git_rev: str = "unknown",
+        dtype_tolerances: Optional[Mapping[str, Mapping[str, Mapping[str, float]]]] = None,
     ) -> Path:
         """Write (or refresh) a baseline atomically and return its path.
 
@@ -190,7 +202,15 @@ class BaselineStore:
             :data:`DEFAULT_TOLERANCES`.
         git_rev:
             Provenance stamp of the generating code.
+        dtype_tolerances:
+            Optional per-serving-dtype tolerance overrides, keyed by dtype
+            name then metric (see :class:`Baseline`).  Refreshing a baseline
+            without passing these preserves the stored overrides, so a
+            float64 ``--update-baseline`` never silently drops the float32
+            gate bands.
         """
+        if dtype_tolerances is None and self.exists(name):
+            dtype_tolerances = self.load(name).dtype_tolerances
         baseline = Baseline(
             name=name,
             config_hash=config_hash,
@@ -200,6 +220,10 @@ class BaselineStore:
                 for metric, band in (tolerances or DEFAULT_TOLERANCES).items()
             },
             git_rev=git_rev,
+            dtype_tolerances={
+                dtype: {metric: dict(band) for metric, band in bands.items()}
+                for dtype, bands in (dtype_tolerances or {}).items()
+            },
         )
         path = self.path(name)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -247,6 +271,7 @@ class BaselineStore:
             metrics=metrics,
             tolerances=payload.get("tolerances", {}),
             git_rev=payload.get("git_rev", "unknown"),
+            dtype_tolerances=payload.get("dtype_tolerances", {}),
         )
 
     def compare(
@@ -254,6 +279,7 @@ class BaselineStore:
         name: str,
         metrics: Mapping[str, Mapping[str, float]],
         config_hash: str,
+        dtype: str = "float64",
     ) -> DriftReport:
         """Compare a fresh campaign's metrics against a stored baseline.
 
@@ -263,6 +289,10 @@ class BaselineStore:
         :data:`DEFAULT_TOLERANCES`; unknown metrics fall back to exact
         equality with a tiny float slack).  Extra metrics in the fresh run
         never fail the gate — growth is not drift.
+
+        ``dtype`` names the serving precision the campaign ran at; when the
+        baseline stores ``dtype_tolerances`` for it, those bands override the
+        default ones per metric (the golden *numbers* stay the float64 ones).
 
         Raises
         ------
@@ -278,6 +308,7 @@ class BaselineStore:
                 f"run hash {config_hash[:12]}…); refresh it with "
                 "run_eval.py --update-baseline"
             )
+        dtype_bands = baseline.dtype_tolerances.get(dtype, {})
         report = DriftReport(baseline_name=name)
         for label, expected in baseline.metrics.items():
             observed_row = metrics.get(label)
@@ -285,7 +316,7 @@ class BaselineStore:
                 report.missing.append(label)
                 continue
             for metric, expected_value in expected.items():
-                band = baseline.tolerances.get(
+                band = dtype_bands.get(metric) or baseline.tolerances.get(
                     metric, DEFAULT_TOLERANCES.get(metric, {"rtol": 0.0, "atol": 1e-12})
                 )
                 allowed = float(band.get("atol", 0.0)) + float(

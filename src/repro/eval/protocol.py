@@ -37,6 +37,7 @@ from repro.eval.config import EvalConfig
 from repro.eval.training import MultiDesignTrainer
 from repro.io.atomic import atomic_write_text
 from repro.io.results import ExperimentRecord, format_table, latency_throughput_columns
+from repro.nn import kernels
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.resilience.retry import RetryPolicy, run_with_retry
 from repro.serving.registry import PredictorRegistry
@@ -192,12 +193,18 @@ class CrossDesignReport:
         Held-out rows that exhausted their retry budget, keyed by label:
         ``{"error": repr, "attempts": n}``.  A resumed campaign re-attempts
         them (the entry is dropped on success).
+    serving_dtype:
+        Precision the campaign's screening ran at.  Stamped into the
+        artefact so a resumed run at a different serving precision is
+        rejected instead of silently mixing rows measured at different
+        dtypes.
     """
 
     config_hash: str
     rows: dict[str, HeldoutEvaluation] = field(default_factory=dict)
     git_rev: str = "unknown"
     quarantined: dict[str, dict] = field(default_factory=dict)
+    serving_dtype: str = "float64"
 
     def records(self) -> list[ExperimentRecord]:
         """All rows as :class:`ExperimentRecord` objects, in insertion order."""
@@ -225,6 +232,7 @@ class CrossDesignReport:
             "version": REPORT_VERSION,
             "config_hash": self.config_hash,
             "git_rev": self.git_rev,
+            "serving_dtype": self.serving_dtype,
             "rows": {label: row.to_dict() for label, row in self.rows.items()},
             "quarantined": dict(self.quarantined),
             "health": self.health(),
@@ -248,7 +256,12 @@ class CrossDesignReport:
             raise ValueError(
                 f"unsupported report version {payload.get('version')!r} in {path}"
             )
-        report = cls(config_hash=payload["config_hash"], git_rev=payload.get("git_rev", "unknown"))
+        report = cls(
+            config_hash=payload["config_hash"],
+            git_rev=payload.get("git_rev", "unknown"),
+            # Artefacts written before the kernel-dispatch layer are float64.
+            serving_dtype=payload.get("serving_dtype", "float64"),
+        )
         for label, row in payload.get("rows", {}).items():
             report.rows[label] = HeldoutEvaluation.from_dict(row)
         # Tolerant read: artefacts written before the resilience layer have
@@ -280,6 +293,12 @@ class CrossDesignEvaluator:
         exhausts it is quarantined into the report's health section — with
         its final error — instead of aborting the campaign; the next
         resumed run re-attempts it.
+    serving_dtype:
+        Precision the held-out screening runs at (``"float64"`` default, or
+        ``"float32"`` for the low-precision inference path).  Training always
+        runs float64; the trained model is cast only when it is wrapped into
+        the served predictor, and the accuracy drift is gated via the
+        baseline's per-dtype tolerance bands.
     """
 
     def __init__(
@@ -287,13 +306,17 @@ class CrossDesignEvaluator:
         config: EvalConfig,
         workdir: Union[str, Path],
         retry: RetryPolicy = RetryPolicy(),
+        serving_dtype: str = "float64",
     ):
         self.config = config
         self.retry = retry
+        self.serving_dtype = kernels.dtype_name(serving_dtype)
         self.workdir = Path(workdir)
         self.corpus_root = self.workdir / "corpus"
         self.registry = PredictorRegistry(
-            self.workdir / "checkpoints", capacity=max(4, len(config.heldout))
+            self.workdir / "checkpoints",
+            capacity=max(4, len(config.heldout)),
+            dtype=self.serving_dtype,
         )
         self._datasets: Optional[dict[str, NoiseDataset]] = None
 
@@ -369,6 +392,7 @@ class CrossDesignEvaluator:
             distance=heldout_dataset.distance,
             compression_rate=config.compression_rate,
             rate_step=config.rate_step,
+            dtype=self.serving_dtype,
         )
         self.registry.register(heldout, predictor)
 
@@ -452,6 +476,12 @@ class CrossDesignEvaluator:
                 f"(artefact hash {report.config_hash[:12]}…, "
                 f"config hash {expected[:12]}…); use a fresh workdir"
             )
+        if report.serving_dtype != self.serving_dtype:
+            raise ValueError(
+                f"report at {self.report_path} was measured at serving dtype "
+                f"{report.serving_dtype}, this campaign serves at "
+                f"{self.serving_dtype}; use a fresh workdir"
+            )
         return report
 
     def run(
@@ -482,7 +512,9 @@ class CrossDesignEvaluator:
             from repro.datagen.shards import git_revision
 
             report = CrossDesignReport(
-                config_hash=self.config.config_hash(), git_rev=git_revision()
+                config_hash=self.config.config_hash(),
+                git_rev=git_revision(),
+                serving_dtype=self.serving_dtype,
             )
         started = time.perf_counter()
         for heldout in self.config.heldout:

@@ -117,8 +117,16 @@ class FeatureNormalizer:
         return np.asarray(noise, dtype=float) / self.noise_scale
 
     def denormalize_noise(self, noise: np.ndarray) -> np.ndarray:
-        """Map a network output back to volts."""
-        return np.asarray(noise, dtype=float) * self.noise_scale
+        """Map a network output back to volts.
+
+        Dtype-preserving for float inputs: a float32 serving pass yields a
+        float32 noise map (the scale factor is a weak Python scalar), while
+        non-float inputs are still coerced to float64.
+        """
+        noise = np.asarray(noise)
+        if noise.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            noise = noise.astype(float)
+        return noise * self.noise_scale
 
     def to_dict(self) -> dict:
         """Serialisable representation (stored with model checkpoints)."""

@@ -9,8 +9,15 @@ gradient is validated against numerical differentiation in the test suite.
 (Minibatch shuffling lives in the training engine itself —
 :mod:`repro.core.training` — which batches whole minibatches through one
 autograd graph per step.)
+
+All dense kernels (matmul / im2col / col2im, the workspace pool, dtype and
+threading policy) dispatch through :mod:`repro.nn.kernels`: float64 is the
+bit-exact reference and training precision, float32 the opt-in inference
+fast path, and accelerated backends can be registered behind the same entry
+points.
 """
 
+from repro.nn import kernels
 from repro.nn.tensor import Tensor, as_tensor, cat, stack, no_grad, record_graph
 from repro.nn.conv import (
     PADDING_MODES,
@@ -37,6 +44,7 @@ from repro.nn.serialization import load_checkpoint, load_extras, save_checkpoint
 from repro.nn import init
 
 __all__ = [
+    "kernels",
     "Tensor",
     "as_tensor",
     "cat",

@@ -13,82 +13,23 @@ Array layout is NCHW throughout.
 
 from __future__ import annotations
 
-import threading
 from typing import Optional
 
 import numpy as np
 
+from repro.nn import kernels
+from repro.nn.kernels import release_workspace, take_workspace
 from repro.nn.tensor import Context, Function, Tensor, grad_enabled
 
 #: Padding modes supported by :class:`Conv2dFunction`.
 PADDING_MODES = ("zeros", "replicate")
 
-# ---------------------------------------------------------------------- #
-# im2col workspace pool
-# ---------------------------------------------------------------------- #
-#
-# The unfolded-columns buffer is by far the largest allocation of a
-# convolution, and a training step re-creates one per layer per step with
-# identical shapes.  Instead of paying the allocator (and page faults) every
-# step, released buffers are parked in a per-thread pool keyed by shape and
-# handed back out to the next forward pass that needs the same shape.
-# Ownership is exclusive between take and release, so a buffer saved for a
-# backward pass can never be overwritten by a concurrent forward; a graph can
-# consequently only be backpropagated once through a convolution (the
-# standard contract — the workspace is recycled during backward).
-
-_WORKSPACES = threading.local()
-
-#: Buffers parked per shape; more than this and the extras go to the GC.
-_MAX_POOLED_PER_SHAPE = 4
-
-#: Total bytes parked per thread.  A long-lived serving thread sees many
-#: distinct (batch, layer, design) shapes over its lifetime; without a
-#: global cap each would park up to ``_MAX_POOLED_PER_SHAPE`` buffers
-#: forever.  A training loop cycles through a handful of shapes, far below
-#: this bound, so the hot path is unaffected.
-_MAX_POOLED_BYTES = 64 * 2**20
-
-
-def _take_workspace(shape: tuple[int, ...]) -> np.ndarray:
-    """Pop a pooled float64 buffer of ``shape``, or allocate a fresh one."""
-    pool = getattr(_WORKSPACES, "pool", None)
-    if pool is None:
-        pool = _WORKSPACES.pool = {}
-        _WORKSPACES.pooled_bytes = 0
-    stack = pool.get(shape)
-    if stack:
-        buffer = stack.pop()
-        if not stack:
-            del pool[shape]
-        _WORKSPACES.pooled_bytes -= buffer.nbytes
-        return buffer
-    return np.empty(shape, dtype=np.float64)
-
-
-def _release_workspace(array: np.ndarray) -> None:
-    """Park a float64 buffer for reuse by a later :func:`_take_workspace`."""
-    if array.dtype != np.float64 or not array.flags.c_contiguous:
-        return
-    pool = getattr(_WORKSPACES, "pool", None)
-    if pool is None:
-        pool = _WORKSPACES.pool = {}
-        _WORKSPACES.pooled_bytes = 0
-    if array.nbytes > _MAX_POOLED_BYTES:
-        return
-    # Evict least-recently-keyed shapes until the new buffer fits, so a
-    # service whose request shapes drift keeps pooling its current shapes.
-    while _WORKSPACES.pooled_bytes + array.nbytes > _MAX_POOLED_BYTES and pool:
-        oldest_shape = next(iter(pool))
-        stack = pool[oldest_shape]
-        if stack:
-            _WORKSPACES.pooled_bytes -= stack.pop().nbytes
-        if not stack:
-            del pool[oldest_shape]
-    stack = pool.setdefault(array.shape, [])
-    if len(stack) < _MAX_POOLED_PER_SHAPE:
-        stack.append(array)
-        _WORKSPACES.pooled_bytes += array.nbytes
+# The im2col workspace pool lives in :mod:`repro.nn.kernels` (keyed by
+# (shape, dtype), recency-ordered eviction).  Ownership is exclusive between
+# take and release, so a buffer saved for a backward pass can never be
+# overwritten by a concurrent forward; a graph can consequently only be
+# backpropagated once through a convolution (the standard contract — the
+# workspace is recycled during backward).
 
 
 def pad_input(x: np.ndarray, padding: int, mode: str) -> np.ndarray:
@@ -142,7 +83,7 @@ def conv_transpose_output_size(size: int, kernel: int, stride: int, padding: int
 def im2col(
     x_padded: np.ndarray, kernel: int, stride: int, out: Optional[np.ndarray] = None
 ) -> np.ndarray:
-    """Unfold sliding windows into columns.
+    """Unfold sliding windows into columns (via the active kernel backend).
 
     Parameters
     ----------
@@ -159,20 +100,7 @@ def im2col(
     -------
     Array of shape ``(N, C * kernel * kernel, OH * OW)`` (``out`` if given).
     """
-    batch, channels, height, width = x_padded.shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    windows = np.lib.stride_tricks.sliding_window_view(x_padded, (kernel, kernel), axis=(2, 3))
-    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, OH, OW, k, k)
-    if out is None:
-        out = np.empty((batch, channels * kernel * kernel, out_h * out_w), dtype=x_padded.dtype)
-    # Write the transposed windows straight into the (pooled) destination —
-    # one fused copy instead of reshape-copy + ascontiguousarray.
-    np.copyto(
-        out.reshape(batch, channels, kernel, kernel, out_h, out_w),
-        windows.transpose(0, 1, 4, 5, 2, 3),
-    )
-    return out
+    return kernels.im2col(x_padded, kernel, stride, out=out)
 
 
 def col2im(
@@ -181,20 +109,8 @@ def col2im(
     kernel: int,
     stride: int,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back into an array."""
-    batch, channels, height, width = padded_shape
-    out_h = (height - kernel) // stride + 1
-    out_w = (width - kernel) // stride + 1
-    columns = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
-    output = np.zeros(padded_shape, dtype=columns.dtype)
-    for row_offset in range(kernel):
-        row_end = row_offset + stride * out_h
-        for col_offset in range(kernel):
-            col_end = col_offset + stride * out_w
-            output[:, :, row_offset:row_end:stride, col_offset:col_end:stride] += columns[
-                :, :, row_offset, col_offset, :, :
-            ]
-    return output
+    """Adjoint of :func:`im2col` (via the active kernel backend)."""
+    return kernels.col2im(columns, padded_shape, kernel, stride)
 
 
 class Conv2dFunction(Function):
@@ -218,17 +134,16 @@ class Conv2dFunction(Function):
         x_padded = pad_input(x, padding, padding_mode)
         out_h = conv_output_size(x.shape[2], kernel, stride, padding)
         out_w = conv_output_size(x.shape[3], kernel, stride, padding)
-        workspace = (
-            _take_workspace((x.shape[0], in_channels * kernel * kernel, out_h * out_w))
-            if x_padded.dtype == np.float64
-            else None
+        workspace = take_workspace(
+            (x.shape[0], in_channels * kernel * kernel, out_h * out_w),
+            dtype=x_padded.dtype,
         )
         columns = im2col(x_padded, kernel, stride, out=workspace)
         weight_matrix = weight.reshape(out_channels, -1)
         # matmul broadcasts (O, F) @ (N, F, P) -> (N, O, P) straight into
         # batched GEMM; unlike einsum there is no per-call path search, which
         # matters when serving many small maps.
-        output = np.matmul(weight_matrix, columns)
+        output = kernels.matmul(weight_matrix, columns)
         output = output.reshape(x.shape[0], out_channels, out_h, out_w)
         if bias is not None:
             output = output + bias.reshape(1, -1, 1, 1)
@@ -238,7 +153,7 @@ class Conv2dFunction(Function):
             # inference (no_grad) batches must not keep them alive either.
             ctx.save(columns, weight, x_padded.shape)
         else:
-            _release_workspace(columns)
+            release_workspace(columns)
         ctx.attrs.update(
             stride=stride,
             padding=padding,
@@ -269,7 +184,7 @@ class Conv2dFunction(Function):
         # contraction as einsum("nop,nfp->of") without the per-call path
         # search overhead.
         grad_weight = (
-            np.matmul(grad_flat, columns.swapaxes(1, 2)).sum(axis=0).reshape(weight.shape)
+            kernels.matmul(grad_flat, columns.swapaxes(1, 2)).sum(axis=0).reshape(weight.shape)
         )
         grad_bias = grad_flat.sum(axis=(0, 2)) if ctx.attrs["has_bias"] else None
 
@@ -277,7 +192,7 @@ class Conv2dFunction(Function):
         # hand the buffer back to the pool for the next step's forward pass.
         ctx.saved = ()
         ctx.attrs["workspace_recycled"] = True
-        _release_workspace(columns)
+        release_workspace(columns)
         del columns
 
         needs = ctx.needs_input_grad
@@ -288,9 +203,9 @@ class Conv2dFunction(Function):
 
         # Plain matmul (no out=) — numpy's out= variant takes a slower
         # buffered path; the transient result is parked in the pool instead.
-        grad_columns = np.matmul(weight_matrix.T, grad_flat)
+        grad_columns = kernels.matmul(weight_matrix.T, grad_flat)
         grad_padded = col2im(grad_columns, padded_shape, kernel, stride)
-        _release_workspace(grad_columns)
+        release_workspace(grad_columns)
         grad_input = unpad_gradient(grad_padded, padding, padding_mode)
         return grad_input, grad_weight, grad_bias
 
@@ -325,9 +240,9 @@ class ConvTranspose2dFunction(Function):
         weight_matrix = weight.reshape(in_channels, out_channels * kernel * kernel)
         # Plain matmul (no out=) — numpy's out= variant takes a slower
         # buffered path; the transient result is parked in the pool instead.
-        columns = np.matmul(weight_matrix.T, x_flat)
+        columns = kernels.matmul(weight_matrix.T, x_flat)
         output_padded = col2im(columns, padded_shape, kernel, stride)
-        _release_workspace(columns)
+        release_workspace(columns)
         if padding > 0:
             output = output_padded[:, :, padding:-padding, padding:-padding]
         else:
@@ -355,10 +270,9 @@ class ConvTranspose2dFunction(Function):
         else:
             grad_padded = grad
         in_h, in_w = ctx.attrs["input_shape"][2:]
-        workspace = (
-            _take_workspace((batch, out_channels * kernel * kernel, in_h * in_w))
-            if grad_padded.dtype == np.float64
-            else None
+        workspace = take_workspace(
+            (batch, out_channels * kernel * kernel, in_h * in_w),
+            dtype=grad_padded.dtype,
         )
         grad_columns = im2col(grad_padded, kernel, stride, out=workspace)  # (N, O*k*k, H*W)
 
@@ -369,12 +283,12 @@ class ConvTranspose2dFunction(Function):
         else:
             # Batched GEMM replacements for einsum("if,nfp->nip") — no
             # per-call contraction-path search.
-            grad_x = np.matmul(weight_matrix, grad_columns).reshape(ctx.attrs["input_shape"])
+            grad_x = kernels.matmul(weight_matrix, grad_columns).reshape(ctx.attrs["input_shape"])
 
         grad_weight = (
-            np.matmul(x_flat, grad_columns.swapaxes(1, 2)).sum(axis=0).reshape(weight.shape)
+            kernels.matmul(x_flat, grad_columns.swapaxes(1, 2)).sum(axis=0).reshape(weight.shape)
         )
-        _release_workspace(grad_columns)
+        release_workspace(grad_columns)
         grad_bias = grad.sum(axis=(0, 2, 3)) if ctx.attrs["has_bias"] else None
         return grad_x, grad_weight, grad_bias
 

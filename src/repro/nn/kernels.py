@@ -1,0 +1,559 @@
+"""Kernel dispatch: the single owner of matmul/im2col/col2im entry points.
+
+Every dense kernel the network executes — the batched GEMM behind a
+convolution, the im2col unfold, the col2im fold, the workspace pool feeding
+them — routes through this module, so precision policy, threading and
+backend selection live in exactly one place:
+
+* **Dtype policy.**  Kernels run in ``float64`` (the bit-exact reference,
+  the only dtype the training path accepts) or ``float32`` (the serving
+  fast path, roughly half the memory traffic and twice the GEMM
+  throughput).  :data:`SUPPORTED_DTYPES` is the closed set; the workspace
+  pool is keyed by ``(shape, dtype)`` so a float32 serving thread recycles
+  buffers exactly like the float64 training loop does.
+* **Thread sharding.**  :func:`matmul` shards a *batched* product across a
+  thread pool when the batch is large enough and more than one kernel
+  thread is configured (:func:`set_kernel_threads` / the
+  ``REPRO_KERNEL_THREADS`` environment variable).  Each shard is an
+  independent slice of the batch computed by the same backend call, so the
+  sharded result is bit-identical to the single-thread one at any thread
+  count — reproducibility is a matter of pinning the thread count in
+  config, not of tolerating nondeterminism.
+* **Backend registry.**  The pure-numpy :class:`NumpyBackend` is the
+  reference implementation; an accelerated backend (a compiled extension,
+  a GPU bridge) plugs in behind the same three entry points via
+  :func:`register_backend` + :func:`set_backend` (or the scoped
+  :class:`use_backend`), without touching any caller.  The ``numpy``
+  backend can never be unregistered, so the bit-exact reference is always
+  one :func:`set_backend` call away.
+
+Callers (``repro.nn.conv``, ``repro.nn.tensor``) import the module-level
+:func:`matmul` / :func:`im2col` / :func:`col2im` functions; they dispatch to
+the active backend at call time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "KernelBackend",
+    "NumpyBackend",
+    "available_backends",
+    "canonical_dtype",
+    "clear_workspace_pool",
+    "col2im",
+    "dtype_name",
+    "get_backend",
+    "get_backend_name",
+    "im2col",
+    "kernel_threads",
+    "matmul",
+    "register_backend",
+    "release_workspace",
+    "set_backend",
+    "set_kernel_threads",
+    "take_workspace",
+    "use_backend",
+    "use_kernel_threads",
+    "workspace_pool_stats",
+]
+
+DtypeLike = Union[str, type, np.dtype]
+
+#: The dtypes kernels may run in.  ``float64`` is the bit-exact reference
+#: (and the only dtype the training path accepts); ``float32`` is the
+#: low-precision inference path.
+SUPPORTED_DTYPES: tuple[np.dtype, ...] = (np.dtype(np.float64), np.dtype(np.float32))
+
+#: Dtype used when nothing selects one explicitly.
+DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+
+def canonical_dtype(dtype: DtypeLike) -> np.dtype:
+    """Validate and normalise a dtype spec to one of :data:`SUPPORTED_DTYPES`.
+
+    Accepts the ``np.dtype`` itself, the scalar type (``np.float32``) or a
+    string (``"float32"``); raises ``TypeError`` for anything outside the
+    supported set so precision bugs fail loudly at the boundary instead of
+    silently deoptimizing deep inside a forward pass.
+    """
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise TypeError(f"unsupported kernel dtype {resolved.name!r}; expected one of: {supported}")
+    return resolved
+
+
+def dtype_name(dtype: DtypeLike) -> str:
+    """Canonical string name (``"float32"`` / ``"float64"``) of a dtype spec."""
+    return canonical_dtype(dtype).name
+
+
+# ---------------------------------------------------------------------- #
+# reference kernels (pure numpy)
+# ---------------------------------------------------------------------- #
+
+
+def _im2col_numpy(
+    x_padded: np.ndarray, kernel: int, stride: int, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Unfold sliding windows into columns (reference implementation).
+
+    Parameters
+    ----------
+    x_padded:
+        Padded input, shape ``(N, C, H, W)``.
+    kernel / stride:
+        Square kernel size and stride.
+    out:
+        Optional preallocated C-contiguous destination of shape
+        ``(N, C * kernel * kernel, OH * OW)`` (e.g. a pooled workspace);
+        allocated when omitted.
+
+    Returns
+    -------
+    Array of shape ``(N, C * kernel * kernel, OH * OW)`` (``out`` if given).
+    """
+    batch, channels, height, width = x_padded.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x_padded, (kernel, kernel), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, OH, OW, k, k)
+    if out is None:
+        out = np.empty((batch, channels * kernel * kernel, out_h * out_w), dtype=x_padded.dtype)
+    # Write the transposed windows straight into the (pooled) destination —
+    # one fused copy instead of reshape-copy + ascontiguousarray.
+    np.copyto(
+        out.reshape(batch, channels, kernel, kernel, out_h, out_w),
+        windows.transpose(0, 1, 4, 5, 2, 3),
+    )
+    return out
+
+
+def _col2im_numpy(
+    columns: np.ndarray,
+    padded_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col_numpy`: scatter-add columns back into an array."""
+    batch, channels, height, width = padded_shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    columns = columns.reshape(batch, channels, kernel, kernel, out_h, out_w)
+    output = np.zeros(padded_shape, dtype=columns.dtype)
+    for row_offset in range(kernel):
+        row_end = row_offset + stride * out_h
+        for col_offset in range(kernel):
+            col_end = col_offset + stride * out_w
+            output[:, :, row_offset:row_end:stride, col_offset:col_end:stride] += columns[
+                :, :, row_offset, col_offset, :, :
+            ]
+    return output
+
+
+class KernelBackend:
+    """Interface an accelerated kernel backend implements.
+
+    A backend owns the three dense entry points.  The contract mirrors the
+    reference :class:`NumpyBackend` exactly: same shapes, same dtypes in and
+    out, gradients produced by the same adjoint pairing (``im2col`` vs
+    ``col2im``).  Accuracy may differ within the tolerance its users gate on
+    (the smoke baseline for serving) — the pure-numpy backend remains the
+    bit-exact reference an alternative is validated against.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product with numpy broadcasting semantics."""
+        raise NotImplementedError
+
+    def im2col(
+        self, x_padded: np.ndarray, kernel: int, stride: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Unfold sliding windows into ``(N, C*k*k, OH*OW)`` columns."""
+        raise NotImplementedError
+
+    def col2im(
+        self,
+        columns: np.ndarray,
+        padded_shape: tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+    ) -> np.ndarray:
+        """Adjoint of :meth:`im2col`: scatter-add columns into an image."""
+        raise NotImplementedError
+
+
+class NumpyBackend(KernelBackend):
+    """The pure-numpy reference backend (always registered, never removed)."""
+
+    name = "numpy"
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Plain ``np.matmul`` — BLAS GEMM, broadcast over leading axes."""
+        return np.matmul(a, b)
+
+    def im2col(
+        self, x_padded: np.ndarray, kernel: int, stride: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Stride-tricks unfold with a single fused copy into ``out``."""
+        return _im2col_numpy(x_padded, kernel, stride, out=out)
+
+    def col2im(
+        self,
+        columns: np.ndarray,
+        padded_shape: tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+    ) -> np.ndarray:
+        """Loop-over-kernel-offsets scatter-add (k*k strided additions)."""
+        return _col2im_numpy(columns, padded_shape, kernel, stride)
+
+
+# ---------------------------------------------------------------------- #
+# backend registry
+# ---------------------------------------------------------------------- #
+
+_REGISTRY_LOCK = threading.Lock()
+_BACKENDS: dict[str, KernelBackend] = {"numpy": NumpyBackend()}
+_ACTIVE_BACKEND = "numpy"
+# Thread-local override so `use_backend` on a serving thread can never flip
+# the backend under a training loop running concurrently on another thread.
+_THREAD_STATE = threading.local()
+
+
+def register_backend(name: str, backend: KernelBackend, activate: bool = False) -> None:
+    """Register an accelerated backend under ``name``.
+
+    Registration alone changes nothing — callers opt in per process with
+    :func:`set_backend` or per scope with :class:`use_backend`.  Re-registering
+    a name replaces the backend (except ``"numpy"``, which is the immutable
+    reference implementation).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if name == "numpy":
+        raise ValueError("the 'numpy' reference backend cannot be replaced")
+    with _REGISTRY_LOCK:
+        _BACKENDS[name] = backend
+    if activate:
+        set_backend(name)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (``"numpy"`` is always present)."""
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_BACKENDS))
+
+
+def set_backend(name: str) -> None:
+    """Select the process-wide active backend by name."""
+    with _REGISTRY_LOCK:
+        if name not in _BACKENDS:
+            raise KeyError(
+                f"unknown kernel backend {name!r}; registered: {sorted(_BACKENDS)}"
+            )
+    global _ACTIVE_BACKEND
+    _ACTIVE_BACKEND = name
+
+
+def get_backend_name() -> str:
+    """Name of the backend the calling thread dispatches to."""
+    override = getattr(_THREAD_STATE, "backend", None)
+    return override if override is not None else _ACTIVE_BACKEND
+
+
+def get_backend() -> KernelBackend:
+    """The backend instance the calling thread dispatches to."""
+    with _REGISTRY_LOCK:
+        return _BACKENDS[get_backend_name()]
+
+
+class use_backend:
+    """Context manager selecting a backend for the calling thread only."""
+
+    def __init__(self, name: str):
+        with _REGISTRY_LOCK:
+            if name not in _BACKENDS:
+                raise KeyError(
+                    f"unknown kernel backend {name!r}; registered: {sorted(_BACKENDS)}"
+                )
+        self._name = name
+
+    def __enter__(self) -> "use_backend":
+        self._previous = getattr(_THREAD_STATE, "backend", None)
+        _THREAD_STATE.backend = self._name
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _THREAD_STATE.backend = self._previous
+
+
+# ---------------------------------------------------------------------- #
+# thread sharding
+# ---------------------------------------------------------------------- #
+
+def _threads_from_env() -> int:
+    raw = os.environ.get("REPRO_KERNEL_THREADS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_KERNEL_THREADS must be an integer, got {raw!r}"
+        ) from None
+
+
+_GLOBAL_THREADS = _threads_from_env()
+
+#: Batches smaller than this are never sharded — the shard hand-off costs
+#: more than the GEMMs it would parallelise.
+_MIN_SHARD_BATCH = 8
+
+_EXECUTOR_LOCK = threading.Lock()
+_EXECUTORS: dict[int, ThreadPoolExecutor] = {}
+
+
+def set_kernel_threads(count: int) -> None:
+    """Pin the process-wide kernel thread count (>= 1; 1 = no sharding).
+
+    The thread count is part of the reproducibility config: runs record it
+    (e.g. bench trajectories) so a measurement can be replayed bit-identically
+    — sharding itself never changes results, only wall-clock.
+    """
+    if int(count) < 1:
+        raise ValueError(f"kernel thread count must be >= 1, got {count}")
+    global _GLOBAL_THREADS
+    _GLOBAL_THREADS = int(count)
+
+
+def kernel_threads() -> int:
+    """Kernel threads the calling thread dispatches with (thread-local first)."""
+    override = getattr(_THREAD_STATE, "threads", None)
+    return override if override is not None else _GLOBAL_THREADS
+
+
+class use_kernel_threads:
+    """Context manager pinning the kernel thread count for the calling thread."""
+
+    def __init__(self, count: int):
+        if int(count) < 1:
+            raise ValueError(f"kernel thread count must be >= 1, got {count}")
+        self._count = int(count)
+
+    def __enter__(self) -> "use_kernel_threads":
+        self._previous = getattr(_THREAD_STATE, "threads", None)
+        _THREAD_STATE.threads = self._count
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _THREAD_STATE.threads = self._previous
+
+
+def _executor(threads: int) -> ThreadPoolExecutor:
+    with _EXECUTOR_LOCK:
+        pool = _EXECUTORS.get(threads)
+        if pool is None:
+            pool = _EXECUTORS[threads] = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix=f"repro-kernel-{threads}"
+            )
+        return pool
+
+
+def _shard_bounds(batch: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` slices splitting ``batch`` into ``shards`` parts."""
+    base, extra = divmod(batch, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _sharded_matmul(
+    backend: KernelBackend, a: np.ndarray, b: np.ndarray, threads: int
+) -> np.ndarray:
+    """Shard a batched matmul over the batch axis across ``threads`` workers.
+
+    Each shard is the same backend call on a contiguous batch slice, so the
+    result is bit-identical to the unsharded product (numpy's batched matmul
+    runs one GEMM per batch element either way).
+    """
+    a_batched = a.ndim == 3
+    b_batched = b.ndim == 3
+    batch = a.shape[0] if a_batched else b.shape[0]
+    rows = a.shape[-2]
+    cols = b.shape[-1]
+    out = np.empty((batch, rows, cols), dtype=np.result_type(a, b))
+
+    def run(lo: int, hi: int) -> None:
+        out[lo:hi] = backend.matmul(
+            a[lo:hi] if a_batched else a, b[lo:hi] if b_batched else b
+        )
+
+    bounds = _shard_bounds(batch, min(threads, batch))
+    pool = _executor(threads)
+    futures = [pool.submit(run, lo, hi) for lo, hi in bounds[1:]]
+    run(*bounds[0])  # the caller works too instead of only waiting
+    for future in futures:
+        future.result()
+    return out
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product via the active backend, batch-sharded when configured.
+
+    The dispatch entry point behind every GEMM in the network (tensor
+    ``MatMul``, conv forward/backward contractions).  With the default
+    single kernel thread this is exactly one backend ``matmul`` call; with
+    ``kernel_threads() > 1`` and a batched operand of at least
+    ``_MIN_SHARD_BATCH`` items, the batch axis is sharded across the thread
+    pool (bit-identical results — see :func:`_sharded_matmul`).
+    """
+    backend = get_backend()
+    threads = kernel_threads()
+    if threads > 1 and max(a.ndim, b.ndim) == 3:
+        batch = a.shape[0] if a.ndim == 3 else b.shape[0]
+        compatible = a.ndim != 3 or b.ndim != 3 or a.shape[0] == b.shape[0]
+        if compatible and batch >= _MIN_SHARD_BATCH:
+            return _sharded_matmul(backend, a, b, threads)
+    return backend.matmul(a, b)
+
+
+def im2col(
+    x_padded: np.ndarray, kernel: int, stride: int, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Unfold sliding windows into columns via the active backend.
+
+    See :func:`_im2col_numpy` for the shape contract.
+    """
+    return get_backend().im2col(x_padded, kernel, stride, out=out)
+
+
+def col2im(
+    columns: np.ndarray,
+    padded_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` via the active backend."""
+    return get_backend().col2im(columns, padded_shape, kernel, stride)
+
+
+# ---------------------------------------------------------------------- #
+# workspace pool
+# ---------------------------------------------------------------------- #
+#
+# The unfolded-columns buffer is by far the largest allocation of a
+# convolution, and a training step re-creates one per layer per step with
+# identical shapes.  Instead of paying the allocator (and page faults) every
+# step, released buffers are parked in a per-thread pool keyed by
+# (shape, dtype) and handed back out to the next forward pass that needs the
+# same buffer.  Ownership is exclusive between take and release, so a buffer
+# saved for a backward pass can never be overwritten by a concurrent forward.
+#
+# The pool dict is ordered by *recency* — taking or releasing a key moves it
+# to the back — so when the byte cap forces eviction, the coldest shapes go
+# first and a service whose request shapes drift keeps pooling its current
+# hot set.
+
+_WORKSPACES = threading.local()
+
+#: Buffers parked per (shape, dtype) key; more than this and extras go to GC.
+_MAX_POOLED_PER_KEY = 4
+
+#: Total bytes parked per thread.  A long-lived serving thread sees many
+#: distinct (batch, layer, design, dtype) keys over its lifetime; without a
+#: global cap each would park up to ``_MAX_POOLED_PER_KEY`` buffers forever.
+_MAX_POOLED_BYTES = 64 * 2**20
+
+
+def _pool() -> "OrderedDict[tuple, list[np.ndarray]]":
+    pool = getattr(_WORKSPACES, "pool", None)
+    if pool is None:
+        pool = _WORKSPACES.pool = OrderedDict()
+        _WORKSPACES.pooled_bytes = 0
+    return pool
+
+
+def take_workspace(shape: tuple[int, ...], dtype: DtypeLike = np.float64) -> np.ndarray:
+    """Pop a pooled buffer of ``(shape, dtype)``, or allocate a fresh one.
+
+    Always returns a usable buffer: unsupported dtypes simply never hit the
+    pool (allocate-only), so callers need no dtype gate of their own.
+    """
+    dtype = np.dtype(dtype)
+    key = (tuple(shape), dtype)
+    pool = _pool()
+    stack = pool.get(key)
+    if stack:
+        buffer = stack.pop()
+        if not stack:
+            del pool[key]
+        else:
+            pool.move_to_end(key)  # reuse refreshes the key's recency
+        _WORKSPACES.pooled_bytes -= buffer.nbytes
+        return buffer
+    return np.empty(shape, dtype=dtype)
+
+
+def release_workspace(array: np.ndarray) -> None:
+    """Park a buffer for reuse by a later :func:`take_workspace`.
+
+    Only C-contiguous buffers of a :data:`SUPPORTED_DTYPES` member are
+    pooled; anything else is left to the garbage collector.
+    """
+    if array.dtype not in SUPPORTED_DTYPES or not array.flags.c_contiguous:
+        return
+    pool = _pool()
+    if array.nbytes > _MAX_POOLED_BYTES:
+        return
+    # Evict least-recently-*used* keys until the new buffer fits (the dict is
+    # kept in recency order by take/release), so the hottest shapes survive
+    # request-shape drift.
+    while _WORKSPACES.pooled_bytes + array.nbytes > _MAX_POOLED_BYTES and pool:
+        coldest_key = next(iter(pool))
+        stack = pool[coldest_key]
+        if stack:
+            _WORKSPACES.pooled_bytes -= stack.pop().nbytes
+        if not stack:
+            del pool[coldest_key]
+    key = (array.shape, array.dtype)
+    stack = pool.setdefault(key, [])
+    pool.move_to_end(key)  # releasing refreshes the key's recency too
+    if len(stack) < _MAX_POOLED_PER_KEY:
+        stack.append(array)
+        _WORKSPACES.pooled_bytes += array.nbytes
+
+
+def workspace_pool_stats() -> dict:
+    """Pooled bytes and per-key buffer counts of the calling thread's pool."""
+    pool = _pool()
+    return {
+        "pooled_bytes": int(getattr(_WORKSPACES, "pooled_bytes", 0)),
+        "keys": {
+            (shape, dtype.name): len(stack) for (shape, dtype), stack in pool.items()
+        },
+    }
+
+
+def clear_workspace_pool() -> None:
+    """Drop every pooled buffer of the calling thread (tests, memory pressure)."""
+    _pool().clear()
+    _WORKSPACES.pooled_bytes = 0

@@ -118,7 +118,12 @@ class Module:
         )
 
     def load_state_dict(self, state: dict) -> None:
-        """Load parameter values saved by :meth:`state_dict`."""
+        """Load parameter values saved by :meth:`state_dict`.
+
+        Values are coerced to each parameter's *current* dtype, so a float32
+        module loads float64 master weights without silently reverting to
+        full precision (and the default-float64 case is unchanged).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -127,13 +132,30 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
             if value.shape != parameter.data.shape:
                 raise ValueError(
                     f"parameter {name!r} has shape {parameter.data.shape}, "
                     f"state provides {value.shape}"
                 )
             parameter.data = value.copy()
+
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter in place to a kernel dtype and return self.
+
+        The cast rebinds each parameter's ``data`` array (gradients are
+        dropped), so anything caching array identities — e.g. a predictor's
+        fingerprint memo — observes the change.  Training requires float64;
+        cast to float32 only for inference.
+        """
+        from repro.nn import kernels
+
+        dtype = kernels.canonical_dtype(dtype)
+        for parameter in self.parameters():
+            if parameter.data.dtype != dtype:
+                parameter.data = parameter.data.astype(dtype)
+                parameter.grad = None
+        return self
 
     # -- forward ------------------------------------------------------------ #
 

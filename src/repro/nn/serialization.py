@@ -32,8 +32,16 @@ def save_checkpoint(
 
     ``extras`` maps names to arrays stored alongside the parameters in the
     same archive; read them back with :func:`load_extras`.
+
+    Parameters are always stored as float64 master weights regardless of the
+    module's serving dtype — upcasting float32 values is lossless, so a
+    float32 module round-trips exactly and the checkpoint can later be served
+    at either precision.
     """
-    payload = {name: value for name, value in module.state_dict().items()}
+    payload = {
+        name: np.asarray(value, dtype=np.float64)
+        for name, value in module.state_dict().items()
+    }
     if metadata is not None:
         payload[_METADATA_KEY] = np.array(json.dumps(metadata))
     for name, value in (extras or {}).items():

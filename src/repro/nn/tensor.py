@@ -8,8 +8,12 @@ over the recorded graph.  The op set is intentionally small — exactly what a
 U-Net-style CNN with temporal reductions requires — and every op's gradient
 is covered by numerical-gradient tests in ``tests/nn``.
 
-Only float64 arrays are used; the networks in this project are tiny (tens of
-thousands of parameters), so numerical robustness is worth more than memory.
+Tensors carry one of the kernel dtypes (``float64`` by default — the
+bit-exact training/reference precision — or ``float32`` for the low-precision
+inference path; see :mod:`repro.nn.kernels`).  Operations preserve their
+operands' dtype: scalars and lists are coerced at the promoted dtype of the
+tensor operands, so a float32 forward pass stays float32 end to end instead
+of silently promoting to float64 at the first ``x * 0.5``.
 """
 
 from __future__ import annotations
@@ -19,14 +23,30 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn import kernels
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
-    """Convert any accepted operand into a float64 numpy array."""
+def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Convert any accepted operand into a kernel-dtype numpy array.
+
+    Arrays already carrying a supported kernel dtype pass through unchanged
+    (no copy) when no explicit ``dtype`` is requested; everything else —
+    scalars, lists, integer or exotic-dtype arrays — is coerced to ``dtype``
+    (default float64).
+    """
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    if (
+        dtype is None
+        and isinstance(value, (np.ndarray, np.generic))
+        and value.dtype in kernels.SUPPORTED_DTYPES
+    ):
+        # np.generic covers 0-d results of reductions (np.sum of a float32
+        # array returns a numpy scalar): they keep their precision too.
+        return np.asarray(value)
+    return np.asarray(value, dtype=dtype if dtype is not None else np.float64)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -80,8 +100,26 @@ class Function:
 
     @classmethod
     def apply(cls, *inputs: ArrayLike, **kwargs) -> "Tensor":
-        """Run the forward pass and record the node for backpropagation."""
-        tensors = [value if isinstance(value, Tensor) else Tensor(_as_array(value)) for value in inputs]
+        """Run the forward pass and record the node for backpropagation.
+
+        Non-tensor operands (Python scalars, lists) are coerced at the
+        promoted dtype of the tensor/array operands, so e.g. ``x * 0.5`` on a
+        float32 tensor stays float32 instead of promoting to float64 through
+        a strongly-typed 0-d float64 scalar array.
+        """
+        common: Optional[np.dtype] = None
+        for value in inputs:
+            data = value.data if isinstance(value, Tensor) else value
+            if isinstance(data, np.ndarray) and data.dtype in kernels.SUPPORTED_DTYPES:
+                common = (
+                    data.dtype if common is None else np.promote_types(common, data.dtype)
+                )
+        if common is None:
+            common = kernels.DEFAULT_DTYPE
+        tensors = [
+            value if isinstance(value, Tensor) else Tensor(_as_array(value, dtype=common))
+            for value in inputs
+        ]
         ctx = Context()
         output_data = cls.forward(ctx, *[tensor.data for tensor in tensors], **kwargs)
         requires_grad = any(tensor.requires_grad for tensor in tensors) and grad_enabled()
@@ -201,6 +239,18 @@ class Tensor:
         """Number of elements."""
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the underlying array (one of the kernel dtypes)."""
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Tensor":
+        """Cast to another kernel dtype (differentiable; grad casts back)."""
+        dtype = kernels.canonical_dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+        return Cast.apply(self, dtype=dtype)
+
     def item(self) -> float:
         """The value of a single-element tensor as a Python float."""
         return float(self.data)
@@ -241,7 +291,7 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without an explicit gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             raise ValueError(f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}")
 
@@ -588,18 +638,23 @@ class Sigmoid(Function):
 
 
 class MatMul(Function):
-    """Matrix multiplication (2-D by 2-D, or batched via numpy semantics)."""
+    """Matrix multiplication (2-D by 2-D, or batched via numpy semantics).
+
+    Dispatches through :func:`repro.nn.kernels.matmul`, so backend selection
+    and batch sharding apply to both the forward product and the two
+    backward contractions.
+    """
 
     @staticmethod
     def forward(ctx: Context, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         ctx.save(a, b)
-        return a @ b
+        return kernels.matmul(a, b)
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
         a, b = ctx.saved
-        grad_a = grad @ np.swapaxes(b, -1, -2)
-        grad_b = np.swapaxes(a, -1, -2) @ grad
+        grad_a = kernels.matmul(grad, np.swapaxes(b, -1, -2))
+        grad_b = kernels.matmul(np.swapaxes(a, -1, -2), grad)
         return _unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape)
 
 
@@ -724,17 +779,30 @@ class BroadcastTo(Function):
         return (_unbroadcast(grad, ctx.attrs["shape"]),)
 
 
+class Cast(Function):
+    """Dtype cast between kernel dtypes; backward casts the gradient back."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, dtype=None) -> np.ndarray:
+        ctx.attrs["dtype"] = a.dtype
+        return a.astype(dtype)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (grad.astype(ctx.attrs["dtype"]),)
+
+
 class GetItem(Function):
     """Basic and advanced indexing; backward scatter-adds into the source."""
 
     @staticmethod
     def forward(ctx: Context, a: np.ndarray, index=None) -> np.ndarray:
-        ctx.attrs.update(shape=a.shape, index=index)
+        ctx.attrs.update(shape=a.shape, index=index, dtype=a.dtype)
         return a[index]
 
     @staticmethod
     def backward(ctx: Context, grad: np.ndarray):
-        out = np.zeros(ctx.attrs["shape"], dtype=np.float64)
+        out = np.zeros(ctx.attrs["shape"], dtype=ctx.attrs["dtype"])
         np.add.at(out, ctx.attrs["index"], grad)
         return (out,)
 

@@ -54,7 +54,13 @@ def trace_content_hash(payload: ScreeningPayload) -> str:
 
 
 def result_cache_key(payload: ScreeningPayload, predictor: NoisePredictor) -> str:
-    """Cache key combining vector content with the predictor version."""
+    """Cache key combining vector content with the predictor version.
+
+    The fingerprint folds in the predictor's serving dtype, so the same
+    checkpoint served at float32 and float64 yields distinct keys — a cached
+    low-precision result can never be returned to a full-precision client
+    (or vice versa).
+    """
     return f"{predictor.fingerprint}:{trace_content_hash(payload)}"
 
 

@@ -18,9 +18,10 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.inference import NoisePredictor
+from repro.nn import kernels
 from repro.utils import check_positive, get_logger
 
 _LOG = get_logger("serving.registry")
@@ -45,13 +46,21 @@ class PredictorRegistry:
         (created if missing).
     capacity:
         Maximum number of predictors kept in memory simultaneously.
+    dtype:
+        Optional serving-precision override (``"float32"``/``"float64"``)
+        applied to every checkpoint this registry loads — any checkpoint
+        directory can be served at float32 without rewriting checkpoints.
+        ``None`` (default) keeps each checkpoint's recorded dtype.
     """
 
-    def __init__(self, root: Union[str, Path], capacity: int = 4):
+    def __init__(
+        self, root: Union[str, Path], capacity: int = 4, dtype: Optional[str] = None
+    ):
         check_positive(capacity, "capacity")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.capacity = int(capacity)
+        self.dtype = kernels.dtype_name(dtype) if dtype is not None else None
         self._loaded: "OrderedDict[str, NoisePredictor]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats = RegistryStats()
@@ -137,7 +146,7 @@ class PredictorRegistry:
         # Load outside the lock: a slow cold load must not block lookups of
         # already-resident designs.  If two threads race on the same design,
         # the first inserted predictor wins and the duplicate load is dropped.
-        predictor = NoisePredictor.load(path)
+        predictor = NoisePredictor.load(path, dtype=self.dtype)
         predictor.model.freeze()
         with self._lock:
             resident = self._loaded.get(design_name)

@@ -1,0 +1,65 @@
+"""Serving-layer precision seams: registry dtype override, cache separation.
+
+The result cache keys on the predictor fingerprint, which folds in the
+serving dtype — these tests pin that a float32 deployment can never be
+served a cached float64 answer (or vice versa), and that a registry-wide
+dtype override re-serves existing float64 checkpoints at low precision
+without touching them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inference import NoisePredictor
+from repro.features.extraction import extract_vector_features
+from repro.serving import PredictorRegistry
+from repro.serving.cache import result_cache_key
+
+
+@pytest.fixture()
+def tiny_features(tiny_design, tiny_traces):
+    return extract_vector_features(tiny_traces[0], tiny_design, compression_rate=0.3)
+
+
+def test_registry_dtype_override_serves_float32(tmp_path, tiny_design, serving_predictor):
+    # Register a plain float64 predictor, then open the same store with a
+    # registry-wide float32 override: the checkpoint is untouched, the
+    # served predictor is low-precision.
+    float64_registry = PredictorRegistry(tmp_path / "checkpoints", capacity=2)
+    float64_registry.register(tiny_design.name, serving_predictor)
+
+    float32_registry = PredictorRegistry(
+        tmp_path / "checkpoints", capacity=2, dtype="float32"
+    )
+    served = float32_registry.get(tiny_design.name)
+    assert served.serving_dtype == "float32"
+    for _, parameter in served.model.named_parameters():
+        assert parameter.data.dtype == np.float32
+
+    # The original registry still serves float64 from the same files.
+    assert float64_registry.get(tiny_design.name).serving_dtype == "float64"
+
+
+def test_registry_rejects_unsupported_dtype(tmp_path):
+    with pytest.raises(TypeError):
+        PredictorRegistry(tmp_path / "checkpoints", dtype="int8")
+
+
+def test_result_cache_key_separates_dtypes(
+    tmp_path, tiny_design, serving_predictor, tiny_features
+):
+    registry = PredictorRegistry(tmp_path / "checkpoints", capacity=2)
+    registry.register(tiny_design.name, serving_predictor)
+    path = registry.checkpoint_path(tiny_design.name)
+    predictor64 = NoisePredictor.load(path)
+    predictor32 = NoisePredictor.load(path, dtype="float32")
+
+    key64 = result_cache_key(tiny_features, predictor64)
+    key32 = result_cache_key(tiny_features, predictor32)
+    # Same checkpoint, same vector — different serving precision, different key.
+    assert key64 != key32
+    # The vector-content half of the key is identical; only the fingerprint
+    # (which folds in the serving dtype) differs.
+    assert key64.rsplit(":", 1)[1] == key32.rsplit(":", 1)[1]
