@@ -45,8 +45,15 @@ from repro.resilience import RetryPolicy
 KILLABLE_SEAMS = ("datagen.shard", "datagen.dataset", "datagen.shard_write", "sim.solve")
 
 
-def drill_spec() -> CorpusSpec:
-    """The drill corpus: one design, 4 vectors, 2 shards — seconds to build."""
+def drill_spec(solver_mode: str = "full") -> CorpusSpec:
+    """The drill corpus: one design, 4 vectors, 2 shards — seconds to build.
+
+    ``solver_mode="rom"`` labels the corpus through the gated Krylov
+    reduced-order strategy instead of the full-order companion solver, so
+    the kill/resume byte-identity guarantee is drilled against both
+    labelling paths (the ROM projection is rebuilt deterministically on
+    every resume — see ``docs/solvers.md``).
+    """
     return CorpusSpec(
         designs=(
             CorpusDesignSpec(
@@ -59,6 +66,7 @@ def drill_spec() -> CorpusSpec:
             ),
         ),
         sim_batch_size=4,
+        solver_mode=solver_mode,
     )
 
 
@@ -125,11 +133,15 @@ def main(argv: list[str] | None = None) -> int:
         "--num-workers", type=int, default=0,
         help="worker processes; 0 (default) runs inline so kills hit this process",
     )
+    parser.add_argument(
+        "--solver-mode", default="full", choices=("full", "rom"),
+        help="transient strategy labelling the drill corpus (default: full)",
+    )
     args = parser.parse_args(argv)
 
     faults.install(ChaosInjector(parse_kill_at(args.kill_at)))
     report = generate_corpus(
-        drill_spec(),
+        drill_spec(args.solver_mode),
         args.workdir,
         num_workers=args.num_workers,
         policy=GenerationPolicy(retry=RetryPolicy(max_attempts=3, backoff_s=0.0)),

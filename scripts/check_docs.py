@@ -9,8 +9,9 @@ Three checks, any failure exits non-zero:
    are skipped).
 2. **Docstring coverage** — every public symbol of ``repro.serving``,
    ``repro.gateway``, ``repro.datagen``, ``repro.core.training``,
-   ``repro.eval``, ``repro.obs``, ``repro.workloads``, ``repro.faults``
-   and ``repro.resilience`` (each ``__all__`` export plus the public
+   ``repro.eval``, ``repro.obs``, ``repro.workloads``, ``repro.faults``,
+   ``repro.resilience``, ``repro.nn.kernels`` and ``repro.sim``
+   (each ``__all__`` export plus the public
    methods/properties of exported classes) must carry a docstring; the
    build fails below the threshold (default 1.0 — the sweep is complete,
    keep it that way).
@@ -39,12 +40,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 LINKED_FILES = ("README.md", "DESIGN.md", "docs/api.md", "docs/data-pipeline.md",
                 "docs/tutorial.md", "docs/evaluation.md", "docs/workloads.md",
                 "docs/observability.md", "docs/serving.md", "docs/resilience.md",
-                "docs/kernels.md")
+                "docs/kernels.md", "docs/solvers.md")
 
 #: Packages / modules whose public symbols must be documented.
 COVERED_PACKAGES = ("repro.serving", "repro.datagen", "repro.core.training",
                     "repro.eval", "repro.workloads", "repro.obs", "repro.gateway",
-                    "repro.faults", "repro.resilience", "repro.nn.kernels")
+                    "repro.faults", "repro.resilience", "repro.nn.kernels",
+                    "repro.sim")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 

@@ -28,21 +28,21 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages documented in the reference, in page order.
 DOCUMENTED_PACKAGES = (
-    "repro.core", "repro.nn.kernels", "repro.workloads", "repro.datagen",
-    "repro.serving", "repro.gateway", "repro.eval", "repro.obs",
-    "repro.faults", "repro.resilience",
+    "repro.core", "repro.nn.kernels", "repro.sim", "repro.workloads",
+    "repro.datagen", "repro.serving", "repro.gateway", "repro.eval",
+    "repro.obs", "repro.faults", "repro.resilience",
 )
 
 HEADER = """\
 # API reference
 
 Public API of the prediction framework (`repro.core`), the kernel-dispatch
-layer (`repro.nn.kernels`), the workload layer (`repro.workloads`), the
-dataset factory (`repro.datagen`), the serving layer (`repro.serving`),
-the screening gateway (`repro.gateway`), the cross-design evaluation
-harness (`repro.eval`), the telemetry substrate (`repro.obs`), the
-fault-injection layer (`repro.faults`) and the crash-safety toolkit
-(`repro.resilience`).
+layer (`repro.nn.kernels`), the simulation engine (`repro.sim`), the
+workload layer (`repro.workloads`), the dataset factory (`repro.datagen`),
+the serving layer (`repro.serving`), the screening gateway
+(`repro.gateway`), the cross-design evaluation harness (`repro.eval`), the
+telemetry substrate (`repro.obs`), the fault-injection layer
+(`repro.faults`) and the crash-safety toolkit (`repro.resilience`).
 
 **This file is generated** from the package docstrings by
 `python scripts/gen_api_docs.py`; edit the docstrings, not this file — CI
@@ -52,8 +52,10 @@ fails when the two drift apart.  See `docs/tutorial.md` for a guided tour,
 `docs/evaluation.md` for the evaluation protocols and baseline workflow,
 `docs/observability.md` for metric/span naming and the run-report format,
 `docs/serving.md` for the serving stack and gateway front door,
-`docs/resilience.md` for the failure model and crash-safety drills and
-`docs/kernels.md` for the kernel-dispatch layer and serving precision.
+`docs/resilience.md` for the failure model and crash-safety drills,
+`docs/kernels.md` for the kernel-dispatch layer and serving precision and
+`docs/solvers.md` for the transient solver strategies (full-order vs
+reduced-order) and the ROM error gate.
 """
 
 

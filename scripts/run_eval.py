@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -81,14 +82,25 @@ def main(argv: list[str] | None = None) -> int:
         "float64); float32 is gated against the same golden numbers via the "
         "baseline's per-dtype tolerance bands (default: float64)",
     )
+    parser.add_argument(
+        "--solver-mode", default="full", choices=("full", "rom"),
+        help="transient strategy labelling the campaign corpus: the "
+        "full-order companion solver or the gated Krylov reduced-order "
+        "model (see docs/solvers.md; default: full)",
+    )
     args = parser.parse_args(argv)
 
     config = budget(args.budget)
-    # A non-default serving dtype gets its own workdir: report.json rows are
-    # measured at one precision and must not be resumed at another.
-    default_dir = config.name if args.serving_dtype == "float64" else (
-        f"{config.name}-{args.serving_dtype}"
-    )
+    if args.solver_mode != "full":
+        config = replace(config, solver_mode=args.solver_mode)
+    # A non-default serving dtype or label solver gets its own workdir:
+    # report.json rows are measured against one configuration and must not
+    # be resumed under another.
+    default_dir = config.name
+    if args.serving_dtype != "float64":
+        default_dir = f"{default_dir}-{args.serving_dtype}"
+    if args.solver_mode != "full":
+        default_dir = f"{default_dir}-{args.solver_mode}"
     workdir = args.workdir or (REPO_ROOT / "eval" / "runs" / default_dir)
 
     # The campaign runs inside a telemetry run: every layer's metrics and
@@ -100,6 +112,7 @@ def main(argv: list[str] | None = None) -> int:
             "budget": config.name,
             "config_hash": config.config_hash(),
             "serving_dtype": args.serving_dtype,
+            "solver_mode": args.solver_mode,
         },
     )
     try:
@@ -121,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.serving_dtype != "float64":
             print("ERROR: golden baselines are measured at float64; "
                   "re-run --update-baseline without --serving-dtype")
+            return 1
+        if args.solver_mode != "full":
+            print("ERROR: golden baselines are measured against full-order "
+                  "labels; re-run --update-baseline without --solver-mode")
             return 1
         path = store.save(
             config.name, metrics, config.config_hash(), git_rev=report.git_rev

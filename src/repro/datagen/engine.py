@@ -44,6 +44,7 @@ from repro.resilience.errors import CorruptShardError, ShardFailedError
 from repro.resilience.quarantine import poisoned_sample_indices
 from repro.resilience.retry import RetryPolicy
 from repro.sim.dynamic_noise import DynamicNoiseAnalysis
+from repro.sim.rom import ROMOptions
 from repro.sim.transient import TransientOptions
 from repro.utils import get_logger
 from repro.utils.random import spawn_rngs
@@ -113,6 +114,8 @@ class _ShardTask:
     integration_method: str
     initial_state: str
     quarantine: bool = True
+    solver_mode: str = "full"
+    rom: Optional[ROMOptions] = None
 
 
 @dataclass
@@ -230,6 +233,8 @@ def _worker_analysis(task: _ShardTask, design: Design) -> DynamicNoiseAnalysis:
         task.integration_method,
         task.initial_state,
         task.solver_method,
+        task.solver_mode,
+        task.rom,
     )
     analysis = _WORKER_ANALYSES.get(key)
     if analysis is None:
@@ -238,6 +243,8 @@ def _worker_analysis(task: _ShardTask, design: Design) -> DynamicNoiseAnalysis:
             initial_state=task.initial_state,
             store_waveform=False,
             solver_method=task.solver_method,
+            solver_mode=task.solver_mode,
+            rom=task.rom,
         )
         analysis = DynamicNoiseAnalysis(design, task.design_spec.dt, options)
         _WORKER_ANALYSES[key] = analysis
@@ -307,6 +314,8 @@ def _generate_shard(task: _ShardTask) -> dict:
             design = _worker_design(spec.design)
             analysis = _worker_analysis(task, design)
             traces = shard_vectors(design, spec, task.index)
+            rom_stats = analysis.engine.rom_stats
+            fallbacks_before = rom_stats.fallbacks if rom_stats is not None else 0
             with tracer.span("datagen.simulate") as sim_span:
                 dataset = build_dataset(
                     design,
@@ -319,6 +328,14 @@ def _generate_shard(task: _ShardTask) -> dict:
             dataset = faults.active().on_shard_dataset(task.label, task.index, dataset)
             dataset, quarantined = _quarantine_poisoned(task, dataset)
             content_hash = store.write_shard(task.label, task.index, dataset)
+        if task.solver_mode == "rom":
+            # The ROM gate works per run_many call — i.e. per shard here —
+            # so the fallback delta says whether *this* shard's labels came
+            # from the reduced or the (relabelled) full path.
+            fell_back = rom_stats is not None and rom_stats.fallbacks > fallbacks_before
+            shard_solver = "rom+fallback" if fell_back else "rom"
+        else:
+            shard_solver = "full"
         start, stop = spec.shard_bounds(task.index)
         record = ShardRecord(
             label=task.label,
@@ -329,6 +346,7 @@ def _generate_shard(task: _ShardTask) -> dict:
             num_samples=len(dataset),
             content_hash=content_hash,
             seed=spec.seed,
+            solver=shard_solver,
         )
         # Worker-side telemetry: shard throughput counters plus the per-shard
         # solver-time histogram, flushed into this process's event shard so a
@@ -519,6 +537,8 @@ def generate_corpus(
                     integration_method=spec.integration_method,
                     initial_state=spec.initial_state,
                     quarantine=policy.quarantine,
+                    solver_mode=spec.solver_mode,
+                    rom=spec.rom,
                 )
             )
     if max_shards is not None and len(tasks) > max_shards:

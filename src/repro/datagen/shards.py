@@ -113,6 +113,12 @@ class ShardRecord:
         The design-level vector seed the shard was derived from.
     status:
         ``"complete"`` — incomplete shards are never recorded.
+    solver:
+        Which transient strategy actually labelled the shard: ``"full"``,
+        ``"rom"``, or ``"rom+fallback"`` when the ROM error gate rejected
+        the shard and the full-order solver relabelled it (see
+        ``docs/solvers.md``).  Omitted from the serialised record at the
+        ``"full"`` default so pre-seam manifests round-trip unchanged.
     """
 
     label: str
@@ -124,10 +130,14 @@ class ShardRecord:
     content_hash: str
     seed: int
     status: str = "complete"
+    solver: str = "full"
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
-        return asdict(self)
+        payload = asdict(self)
+        if self.solver == "full":
+            del payload["solver"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ShardRecord":

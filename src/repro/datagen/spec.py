@@ -24,7 +24,8 @@ import math
 from dataclasses import asdict, dataclass
 from typing import Optional
 
-from repro.sim.transient import INTEGRATION_METHODS, TransientOptions
+from repro.sim.rom import ROMOptions
+from repro.sim.transient import INTEGRATION_METHODS, SOLVER_MODES, TransientOptions
 from repro.utils import check_positive
 from repro.workloads.scenarios import validate_scenario
 from repro.workloads.specs import ScenarioSpec
@@ -222,6 +223,17 @@ class CorpusSpec:
         proportionally faster.  Results agree with the ``"direct"`` LU
         factorisation to solver rounding (~1e-14 relative; see
         ``docs/data-pipeline.md``).
+    solver_mode:
+        Which transient strategy labels the corpus: ``"full"`` (the
+        full-order companion path, the default) or ``"rom"`` (the gated
+        Krylov reduced-order model, see ``docs/solvers.md``).  Folded into
+        the config hash and manifest — but omitted at the ``"full"``
+        default, so pre-existing corpora keep their hashes and stay
+        resumable.
+    rom:
+        Reduced-order options (:class:`~repro.sim.rom.ROMOptions`); only
+        meaningful with ``solver_mode="rom"`` (auto-filled with defaults
+        there, rejected otherwise by the transient-options validation).
     """
 
     designs: tuple[CorpusDesignSpec, ...]
@@ -229,6 +241,8 @@ class CorpusSpec:
     solver_method: str = "cholesky"
     integration_method: str = "backward_euler"
     initial_state: str = "dc"
+    solver_mode: str = "full"
+    rom: Optional[ROMOptions] = None
 
     def __post_init__(self) -> None:
         if not self.designs:
@@ -242,6 +256,15 @@ class CorpusSpec:
                 f"unknown integration method {self.integration_method!r}; "
                 f"expected one of {INTEGRATION_METHODS}"
             )
+        if self.solver_mode not in SOLVER_MODES:
+            raise ValueError(
+                f"unknown solver mode {self.solver_mode!r}; "
+                f"expected one of {SOLVER_MODES}"
+            )
+        if self.solver_mode == "rom" and self.rom is None:
+            # Pin the defaults explicitly so the manifest and config hash
+            # record the exact ROM configuration that labelled the corpus.
+            object.__setattr__(self, "rom", ROMOptions())
         # Delegate the remaining option validation to TransientOptions.
         self.transient_options()
 
@@ -252,6 +275,8 @@ class CorpusSpec:
             initial_state=self.initial_state,
             store_waveform=False,
             solver_method=self.solver_method,
+            solver_mode=self.solver_mode,
+            rom=self.rom,
         )
 
     def design(self, label: str) -> CorpusDesignSpec:
@@ -272,9 +297,20 @@ class CorpusSpec:
         return sum(design.num_shards for design in self.designs)
 
     def to_dict(self) -> dict:
-        """JSON-serialisable representation (stored in the manifest)."""
+        """JSON-serialisable representation (stored in the manifest).
+
+        ``solver_mode``/``rom`` are omitted at the ``"full"`` default, so
+        pre-existing full-order corpora keep their config hashes (and stay
+        resumable) across the solver seam's introduction; ROM-mode specs
+        record the complete :class:`~repro.sim.rom.ROMOptions` block.
+        """
         payload = asdict(self)
         payload["designs"] = [design.to_dict() for design in self.designs]
+        if self.solver_mode == "full":
+            del payload["solver_mode"]
+            del payload["rom"]
+        else:
+            payload["rom"] = self.rom.to_dict()
         return payload
 
     @classmethod
@@ -284,6 +320,8 @@ class CorpusSpec:
         payload["designs"] = tuple(
             CorpusDesignSpec.from_dict(entry) for entry in payload["designs"]
         )
+        if "rom" in payload and payload["rom"] is not None:
+            payload["rom"] = ROMOptions.from_dict(payload["rom"])
         return cls(**payload)
 
     def config_hash(self) -> str:
@@ -304,6 +342,8 @@ def paper_corpus_spec(
     shard_size: int = 20,
     seed: int = 0,
     compression_rate: Optional[float] = 0.3,
+    solver_mode: str = "full",
+    rom: Optional[ROMOptions] = None,
 ) -> CorpusSpec:
     """The paper's D1–D4 training sweep as one corpus spec.
 
@@ -326,6 +366,8 @@ def paper_corpus_spec(
         designs differ, so the vector suites do too).
     compression_rate:
         Algorithm-1 retention rate for the features.
+    solver_mode / rom:
+        Label solver selection (see :class:`CorpusSpec`).
 
     Returns
     -------
@@ -343,4 +385,4 @@ def paper_corpus_spec(
         )
         for name in ("D1", "D2", "D3", "D4")
     )
-    return CorpusSpec(designs=designs)
+    return CorpusSpec(designs=designs, solver_mode=solver_mode, rom=rom)

@@ -25,6 +25,8 @@ from typing import Optional
 
 from repro.core.config import ModelConfig, TrainingConfig
 from repro.datagen.spec import CorpusDesignSpec, CorpusSpec
+from repro.sim.rom import ROMOptions
+from repro.sim.transient import SOLVER_MODES
 from repro.utils import check_positive, check_probability
 from repro.workloads.scenarios import validate_scenario
 from repro.workloads.specs import ScenarioSpec
@@ -76,6 +78,12 @@ class EvalConfig:
     scenario_seeds:
         Seed variants of the scenario sweep (exercise the scenarios'
         random choices).
+    solver_mode / rom:
+        Which transient strategy produces the campaign's ground-truth labels
+        (see :class:`~repro.datagen.spec.CorpusSpec`).  Folded into the
+        config hash — so golden baselines pin the label solver mode along
+        with everything else — but omitted at the ``"full"`` default, so
+        pre-seam campaign hashes (and their baselines) are unchanged.
     """
 
     name: str
@@ -97,6 +105,8 @@ class EvalConfig:
     scenarios: tuple = ()
     scenario_steps: tuple[int, ...] = (60,)
     scenario_seeds: tuple[int, ...] = (0,)
+    solver_mode: str = "full"
+    rom: Optional[ROMOptions] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -133,6 +143,14 @@ class EvalConfig:
             validate_scenario(scenario)
         if self.scenarios and not (self.scenario_steps and self.scenario_seeds):
             raise ValueError("a scenario sweep needs at least one steps and seed variant")
+        if self.solver_mode not in SOLVER_MODES:
+            raise ValueError(
+                f"unknown solver mode {self.solver_mode!r}; "
+                f"expected one of {SOLVER_MODES}"
+            )
+        if self.solver_mode == "rom" and self.rom is None:
+            # Pin the exact ROM configuration into the campaign hash.
+            object.__setattr__(self, "rom", ROMOptions())
 
     @property
     def labels(self) -> tuple[str, ...]:
@@ -175,6 +193,8 @@ class EvalConfig:
                 for label, reference in self.designs
             ),
             sim_batch_size=self.sim_batch_size,
+            solver_mode=self.solver_mode,
+            rom=self.rom,
         )
 
     def to_dict(self) -> dict:
@@ -190,6 +210,11 @@ class EvalConfig:
             scenario if isinstance(scenario, str) else scenario.to_dict()
             for scenario in self.scenarios
         ]
+        if self.solver_mode == "full":
+            del payload["solver_mode"]
+            del payload["rom"]
+        else:
+            payload["rom"] = self.rom.to_dict()
         return payload
 
     @classmethod
@@ -207,6 +232,8 @@ class EvalConfig:
             payload[key] = tuple(payload[key])
         payload["model"] = ModelConfig(**payload["model"])
         payload["training"] = TrainingConfig(**payload["training"])
+        if "rom" in payload and payload["rom"] is not None:
+            payload["rom"] = ROMOptions.from_dict(payload["rom"])
         return cls(**payload)
 
     def config_hash(self) -> str:

@@ -198,6 +198,11 @@ class CrossDesignReport:
         artefact so a resumed run at a different serving precision is
         rejected instead of silently mixing rows measured at different
         dtypes.
+    label_solver:
+        Transient strategy that produced the campaign's ground-truth labels
+        (``"full"`` or ``"rom"``; see ``docs/solvers.md``).  Stamped so a
+        resumed run whose config labels with a different solver is rejected
+        instead of silently mixing rows against different ground truths.
     """
 
     config_hash: str
@@ -205,6 +210,7 @@ class CrossDesignReport:
     git_rev: str = "unknown"
     quarantined: dict[str, dict] = field(default_factory=dict)
     serving_dtype: str = "float64"
+    label_solver: str = "full"
 
     def records(self) -> list[ExperimentRecord]:
         """All rows as :class:`ExperimentRecord` objects, in insertion order."""
@@ -233,6 +239,7 @@ class CrossDesignReport:
             "config_hash": self.config_hash,
             "git_rev": self.git_rev,
             "serving_dtype": self.serving_dtype,
+            "label_solver": self.label_solver,
             "rows": {label: row.to_dict() for label, row in self.rows.items()},
             "quarantined": dict(self.quarantined),
             "health": self.health(),
@@ -261,6 +268,8 @@ class CrossDesignReport:
             git_rev=payload.get("git_rev", "unknown"),
             # Artefacts written before the kernel-dispatch layer are float64.
             serving_dtype=payload.get("serving_dtype", "float64"),
+            # Artefacts written before the solver seam are full-order.
+            label_solver=payload.get("label_solver", "full"),
         )
         for label, row in payload.get("rows", {}).items():
             report.rows[label] = HeldoutEvaluation.from_dict(row)
@@ -482,6 +491,12 @@ class CrossDesignEvaluator:
                 f"{report.serving_dtype}, this campaign serves at "
                 f"{self.serving_dtype}; use a fresh workdir"
             )
+        if report.label_solver != self.config.solver_mode:
+            raise ValueError(
+                f"report at {self.report_path} was labelled by the "
+                f"{report.label_solver!r} solver, this campaign labels with "
+                f"{self.config.solver_mode!r}; use a fresh workdir"
+            )
         return report
 
     def run(
@@ -515,6 +530,7 @@ class CrossDesignEvaluator:
                 config_hash=self.config.config_hash(),
                 git_rev=git_revision(),
                 serving_dtype=self.serving_dtype,
+                label_solver=self.config.solver_mode,
             )
         started = time.perf_counter()
         for heldout in self.config.heldout:

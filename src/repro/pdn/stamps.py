@@ -156,6 +156,40 @@ class MNASystem:
         shorts = np.full(self.ind_value.shape, 1.0 / INDUCTOR_SHORT_RESISTANCE)
         return self.conductance_with_inductor_branches(shorts)
 
+    def load_incidence(self) -> sp.csc_matrix:
+        """The load-port incidence ``B`` as a sparse matrix.
+
+        Column ``k`` is the unit current-injection pattern of load ``k``:
+        ``B @ i`` equals :meth:`load_vector` applied to the per-load currents
+        ``i``.  Shape ``(num_nodes, num_loads)``.  This is the input map the
+        reduced-order projection (:mod:`repro.sim.rom`) compresses.
+        """
+        values = np.ones(self.num_loads)
+        columns = np.arange(self.num_loads)
+        return sp.csc_matrix(
+            (values, (self.load_nodes, columns)), shape=(self.num_nodes, self.num_loads)
+        )
+
+    def inductor_incidence(self) -> sp.csc_matrix:
+        """Signed inductor-branch incidence ``E``.
+
+        Column ``k`` carries ``+1`` at ``ind_a[k]`` and ``-1`` at ``ind_b[k]``
+        (omitted when the branch returns to the reference), so branch
+        voltages are ``E.T @ x`` and branch-current scatter into the nodal
+        RHS is ``-E @ i_L``.  Shape ``(num_nodes, num_inductors)``.  Used by
+        the reduced-order projection to keep inductor currents exact.
+        """
+        to_ref = self.ind_b == REFERENCE_NODE
+        internal = ~to_ref
+        rows = np.concatenate([self.ind_a, self.ind_b[internal]])
+        cols = np.concatenate(
+            [np.arange(self.num_inductors), np.arange(self.num_inductors)[internal]]
+        )
+        values = np.concatenate([np.ones(self.num_inductors), -np.ones(int(internal.sum()))])
+        return sp.csc_matrix(
+            (values, (rows, cols)), shape=(self.num_nodes, self.num_inductors)
+        )
+
     def load_vector(self, load_currents: np.ndarray) -> np.ndarray:
         """Scatter per-load currents into a full right-hand-side vector.
 

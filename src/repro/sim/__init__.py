@@ -6,6 +6,11 @@ with companion models for decap and package inductance, the worst-case
 dynamic noise analysis that produces the ground-truth tile maps, and the
 classical multigrid / random-walk solvers the paper cites as conventional
 alternatives.
+
+Transient integration sits behind a solver-strategy seam: the full-order
+companion path (:class:`FullOrderStrategy`) and the gated Krylov
+reduced-order model (:class:`ReducedOrderStrategy`, ``solver_mode="rom"``)
+are interchangeable behind :class:`TransientEngine` — see ``docs/solvers.md``.
 """
 
 from repro.sim.linear import (
@@ -21,10 +26,14 @@ from repro.sim.random_walk import RandomWalkEstimate, RandomWalkSolver
 from repro.sim.static_ir import StaticIRAnalysis, StaticIRResult, run_static_analysis
 from repro.sim.transient import (
     INTEGRATION_METHODS,
+    SOLVER_MODES,
+    FullOrderStrategy,
     TransientEngine,
     TransientOptions,
     TransientResult,
+    TransientSolverStrategy,
 )
+from repro.sim.rom import ReducedOrderStrategy, ROMOptions, ROMRunStats
 from repro.sim.dynamic_noise import (
     DynamicNoiseAnalysis,
     DynamicNoiseResult,
@@ -48,7 +57,13 @@ __all__ = [
     "TransientEngine",
     "TransientOptions",
     "TransientResult",
+    "TransientSolverStrategy",
+    "FullOrderStrategy",
+    "ReducedOrderStrategy",
+    "ROMOptions",
+    "ROMRunStats",
     "INTEGRATION_METHODS",
+    "SOLVER_MODES",
     "DynamicNoiseAnalysis",
     "DynamicNoiseResult",
     "worst_case_summary",

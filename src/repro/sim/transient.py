@@ -9,13 +9,24 @@ same matrix" structure the paper describes (Sec. 2).
 
 Backward Euler (default, L-stable) and the trapezoidal rule (second-order,
 used to validate accuracy) are provided.
+
+The integration itself sits behind a **solver-strategy seam**
+(:class:`TransientSolverStrategy`): :class:`FullOrderStrategy` is the classic
+full-order companion-model path described above, and
+:class:`repro.sim.rom.ReducedOrderStrategy` replays the *same* companion
+iteration in a small Krylov subspace (``solver_mode="rom"``), validated
+against the full solver by a deterministic error gate (see
+``docs/solvers.md``).  :class:`TransientEngine` routes :meth:`~TransientEngine.
+run` and :meth:`~TransientEngine.run_many` through whichever strategy the
+options select.
 """
 
 from __future__ import annotations
 
+import abc
 import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -26,10 +37,16 @@ from repro.sim.linear import LinearSolver, make_solver
 from repro.sim.waveform import CurrentTrace, VoltageWaveform
 from repro.utils import check_positive, get_logger
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.sim.rom import ReducedOrderStrategy, ROMOptions, ROMRunStats
+
 _LOG = get_logger("sim.transient")
 
 #: Supported integration methods.
 INTEGRATION_METHODS = ("backward_euler", "trapezoidal")
+
+#: Supported solver strategies (see ``docs/solvers.md``).
+SOLVER_MODES = ("full", "rom")
 
 
 @dataclass(frozen=True)
@@ -47,13 +64,26 @@ class TransientOptions:
         Keep the full ``(T, N)`` droop waveform.  Worst-case noise analysis
         only needs the running maximum, so this defaults to off.
     solver_method:
-        Linear solver used for the (single) factorised system.
+        Linear solver used for the (single) factorised system and for the
+        DC initial-condition solves.
+    solver_mode:
+        ``"full"`` integrates the full-order companion system
+        (:class:`FullOrderStrategy`, the default); ``"rom"`` integrates the
+        Krylov reduced-order projection
+        (:class:`repro.sim.rom.ReducedOrderStrategy`) with a gated fallback
+        to the full solver.
+    rom:
+        Reduced-order options (:class:`repro.sim.rom.ROMOptions`); only
+        meaningful with ``solver_mode="rom"``, where ``None`` means the
+        defaults.
     """
 
     method: str = "backward_euler"
     initial_state: str = "dc"
     store_waveform: bool = False
     solver_method: str = "direct"
+    solver_mode: str = "full"
+    rom: Optional["ROMOptions"] = None
 
     def __post_init__(self) -> None:
         if self.method not in INTEGRATION_METHODS:
@@ -62,6 +92,19 @@ class TransientOptions:
             )
         if self.initial_state not in ("dc", "zero"):
             raise ValueError(f"initial_state must be 'dc' or 'zero', got {self.initial_state!r}")
+        if self.solver_mode not in SOLVER_MODES:
+            raise ValueError(
+                f"unknown solver mode {self.solver_mode!r}; expected one of {SOLVER_MODES}"
+            )
+        if self.solver_mode == "rom":
+            from repro.sim.rom import ROMOptions
+
+            if self.rom is None:
+                object.__setattr__(self, "rom", ROMOptions())
+            elif not isinstance(self.rom, ROMOptions):
+                raise TypeError(f"rom must be a ROMOptions, got {type(self.rom).__name__}")
+        elif self.rom is not None:
+            raise ValueError("rom options require solver_mode='rom'")
 
 
 @dataclass
@@ -82,6 +125,10 @@ class TransientResult:
         Trace length and step used.
     waveform:
         Full waveform, only when ``store_waveform`` was requested.
+    solver:
+        Name of the strategy that produced this result (``"full"`` or
+        ``"rom"``) — in gated ROM runs the validation sample comes back
+        ``"full"``.
     """
 
     max_droop_per_node: np.ndarray
@@ -91,23 +138,43 @@ class TransientResult:
     num_steps: int
     dt: float
     waveform: Optional[VoltageWaveform] = None
+    solver: str = "full"
 
 
-class TransientEngine:
-    """Reusable transient integrator bound to one MNA system and time step.
+class TransientSolverStrategy(abc.ABC):
+    """Interface between :class:`TransientEngine` and a concrete integrator.
 
-    Building the engine factorises the companion-model system matrix; calling
-    :meth:`run` with different current traces reuses that factorisation, which
-    is how repeated worst-case validations amortise their cost.
+    A strategy owns whatever factorisations or projection bases it needs and
+    turns current traces into :class:`TransientResult` objects.  The engine
+    handles trace validation, batching/grouping and (in ROM mode) the error
+    gate; strategies only integrate.
     """
 
-    def __init__(
-        self,
-        mna: MNASystem,
-        dt: float,
-        options: TransientOptions = TransientOptions(),
-    ):
-        check_positive(dt, "dt")
+    #: Short strategy name stamped into :attr:`TransientResult.solver`.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, trace: CurrentTrace) -> TransientResult:
+        """Integrate one (already validated) current trace."""
+
+    @abc.abstractmethod
+    def run_block(self, traces: list[CurrentTrace]) -> list[TransientResult]:
+        """Integrate equal-length traces in lockstep (one column each)."""
+
+
+class FullOrderStrategy(TransientSolverStrategy):
+    """The full-order companion-model integrator (the classic path).
+
+    Building the strategy assembles and factorises the companion system
+    ``S = G + G_L(dt) + cap_factor * C / dt`` once; every run afterwards is
+    back-substitution against that factorisation.  This is the reference
+    every other strategy is validated against: its results define the
+    ground-truth labels of the corpus format.
+    """
+
+    name = "full"
+
+    def __init__(self, mna: MNASystem, dt: float, options: TransientOptions):
         self._mna = mna
         self._dt = dt
         self._options = options
@@ -127,9 +194,10 @@ class TransientEngine:
 
         system = mna.conductance_with_inductor_branches(self._ind_companion)
         system = system + sp.diags(self._cap_companion, format="csc")
+        self._system = system.tocsc()
         factor_started = time.perf_counter()
-        self._solver: LinearSolver = make_solver(system.tocsc(), options.solver_method)
-        # The factor/solve split: building the engine pays the (single)
+        self._solver: LinearSolver = make_solver(self._system, options.solver_method)
+        # The factor/solve split: building the strategy pays the (single)
         # sparse factorisation; every run() afterwards is back-substitution.
         obs.metrics().histogram("sim.factor_seconds").observe(
             time.perf_counter() - factor_started
@@ -139,24 +207,41 @@ class TransientEngine:
         self._static_solver: Optional[LinearSolver] = None
 
     @property
-    def dt(self) -> float:
-        """Integration time step in seconds."""
-        return self._dt
-
-    @property
-    def options(self) -> TransientOptions:
-        """The option set the engine was built with."""
-        return self._options
-
-    @property
     def mna(self) -> MNASystem:
         """The MNA system being integrated."""
         return self._mna
 
+    @property
+    def options(self) -> TransientOptions:
+        """The option set the strategy was built with."""
+        return self._options
+
+    @property
+    def solver(self) -> LinearSolver:
+        """The factorised companion-system solver (shared with ROM builds)."""
+        return self._solver
+
+    @property
+    def system_matrix(self) -> sp.csc_matrix:
+        """The assembled companion system matrix ``S`` (CSC)."""
+        return self._system
+
+    @property
+    def cap_companion(self) -> np.ndarray:
+        """Per-node capacitor companion conductance ``cap_factor * C / dt``."""
+        return self._cap_companion
+
+    @property
+    def ind_companion(self) -> np.ndarray:
+        """Per-branch inductor companion conductance ``ind_factor * dt / L``."""
+        return self._ind_companion
+
     def _static(self) -> LinearSolver:
         """The lazily built static (DC) solver shared by all initial states."""
         if self._static_solver is None:
-            self._static_solver = make_solver(self._mna.static_conductance(), "direct")
+            self._static_solver = make_solver(
+                self._mna.static_conductance(), self._options.solver_method
+            )
         return self._static_solver
 
     def _dc_state(self, load_currents: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -196,25 +281,8 @@ class TransientEngine:
             branch_current = np.empty((0, num_traces))
         return droop, branch_current
 
-    def _check_trace(self, trace: CurrentTrace) -> None:
-        """Validate one trace against the engine's dt and load count."""
-        if not np.isclose(trace.dt, self._dt, rtol=1e-9, atol=0.0):
-            raise ValueError(
-                f"trace dt {trace.dt} does not match engine dt {self._dt}; "
-                "build a new engine for a different time step"
-            )
-        if trace.num_loads != self._mna.num_loads:
-            raise ValueError(
-                f"trace has {trace.num_loads} loads but the design has {self._mna.num_loads}"
-            )
-
     def run(self, trace: CurrentTrace) -> TransientResult:
-        """Integrate the system over a current trace.
-
-        The trace's ``dt`` must match the engine's ``dt`` (the factorisation
-        depends on it).
-        """
-        self._check_trace(trace)
+        """Integrate the system over one current trace."""
         solve_started = time.perf_counter()
 
         mna = self._mna
@@ -232,7 +300,10 @@ class TransientEngine:
         max_droop = droop.copy()
         worst_droop = float(np.max(droop)) if num_nodes else 0.0
         worst_time_index = 0
-        stored = [droop.copy()] if options.store_waveform else None
+        stored: Optional[np.ndarray] = None
+        if options.store_waveform:
+            stored = np.empty((trace.num_steps, num_nodes))
+            stored[0] = droop
 
         ind_a = mna.ind_a
         ind_b = mna.ind_b
@@ -272,11 +343,11 @@ class TransientEngine:
                 worst_droop = step_worst
                 worst_time_index = step
             if stored is not None:
-                stored.append(droop.copy())
+                stored[step] = droop
 
         waveform = None
         if stored is not None:
-            waveform = VoltageWaveform(np.vstack(stored), self._dt)
+            waveform = VoltageWaveform(stored, self._dt)
         obs.metrics().histogram("sim.solve_seconds").observe(
             time.perf_counter() - solve_started
         )
@@ -288,70 +359,10 @@ class TransientEngine:
             num_steps=trace.num_steps,
             dt=self._dt,
             waveform=waveform,
+            solver=self.name,
         )
 
-    # ------------------------------------------------------------------ #
-    # lockstep block integration
-    # ------------------------------------------------------------------ #
-
-    def run_many(
-        self,
-        traces: Sequence[CurrentTrace],
-        batch_size: Optional[int] = None,
-    ) -> list[TransientResult]:
-        """Integrate several traces in lockstep through one factorisation.
-
-        Dynamic PDN analysis is a series of static solves against one
-        matrix; this is the block-RHS version of that observation.  Traces
-        are grouped by length and each group advances through time together:
-        at every stamp the per-trace right-hand sides are stacked as columns
-        and handed to the solver's block back-substitution
-        (:meth:`~repro.sim.linear.LinearSolver.solve_many`) in a **single**
-        call, so the per-solve overhead — and all per-step Python work — is
-        amortised across the whole batch.  This is the hot path of the
-        dataset factory (:mod:`repro.datagen`).
-
-        Column back-substitutions are independent inside SuperLU: each
-        returned :class:`TransientResult` agrees with what :meth:`run`
-        produces for the same trace to solver rounding (usually bit-equal;
-        at worst a few ULPs, because the multi-RHS kernel may round
-        differently), and results are fully deterministic for a given batch
-        decomposition (asserted by ``tests/sim/test_transient.py``).
-
-        Parameters
-        ----------
-        traces:
-            Current traces; each must match the engine's ``dt`` and the
-            design's load count.  Lengths may differ (equal lengths batch
-            best).
-        batch_size:
-            Maximum number of traces integrated per lockstep block — bounds
-            the ``(N, batch_size)`` working set.  ``None`` integrates each
-            equal-length group as one block.
-
-        Returns
-        -------
-        One :class:`TransientResult` per trace, in input order.
-        """
-        traces = list(traces)
-        if batch_size is not None and batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        for trace in traces:
-            self._check_trace(trace)
-
-        results: list[Optional[TransientResult]] = [None] * len(traces)
-        groups: dict[int, list[int]] = {}
-        for index, trace in enumerate(traces):
-            groups.setdefault(trace.num_steps, []).append(index)
-        for indices in groups.values():
-            limit = batch_size or len(indices)
-            for start in range(0, len(indices), limit):
-                chunk = indices[start:start + limit]
-                for index, result in zip(chunk, self._run_block([traces[i] for i in chunk])):
-                    results[index] = result
-        return results  # type: ignore[return-value]
-
-    def _run_block(self, traces: list[CurrentTrace]) -> list[TransientResult]:
+    def run_block(self, traces: list[CurrentTrace]) -> list[TransientResult]:
         """Lockstep integration of equal-length traces (one column each)."""
         solve_started = time.perf_counter()
         mna = self._mna
@@ -375,7 +386,10 @@ class TransientEngine:
         else:
             worst_droop = np.zeros(num_traces)
         worst_time_index = np.zeros(num_traces, dtype=int)
-        stored = [droop.copy()] if options.store_waveform else None
+        stored: Optional[np.ndarray] = None
+        if options.store_waveform:
+            stored = np.empty((num_steps, num_nodes, num_traces))
+            stored[0] = droop
 
         cap_companion = self._cap_companion[:, np.newaxis]
         ind_companion = self._ind_companion[:, np.newaxis]
@@ -440,7 +454,7 @@ class TransientEngine:
                 worst_droop[improved] = step_worst[improved]
                 worst_time_index[improved] = step
             if stored is not None:
-                stored.append(droop.copy())
+                stored[step] = droop
 
         obs.metrics().histogram("sim.solve_seconds").observe(
             time.perf_counter() - solve_started
@@ -449,9 +463,7 @@ class TransientEngine:
         for column in range(num_traces):
             waveform = None
             if stored is not None:
-                waveform = VoltageWaveform(
-                    np.stack([frame[:, column] for frame in stored]), self._dt
-                )
+                waveform = VoltageWaveform(stored[:, :, column].copy(), self._dt)
             results.append(
                 TransientResult(
                     max_droop_per_node=max_droop[:, column].copy(),
@@ -461,6 +473,237 @@ class TransientEngine:
                     num_steps=num_steps,
                     dt=self._dt,
                     waveform=waveform,
+                    solver=self.name,
                 )
             )
+        return results
+
+
+class TransientEngine:
+    """Reusable transient integrator bound to one MNA system and time step.
+
+    Building the engine factorises the companion-model system matrix; calling
+    :meth:`run` with different current traces reuses that factorisation, which
+    is how repeated worst-case validations amortise their cost.
+
+    With ``solver_mode="rom"`` the engine additionally builds the Krylov
+    reduced-order projection (:mod:`repro.sim.rom`) from that same
+    factorisation and routes integration through it; :meth:`run_many` then
+    validates a deterministic sample of every batch against the full-order
+    path and falls back wholesale when the ROM misses the pinned
+    ``worst_droop`` tolerance (see ``docs/solvers.md``).
+    """
+
+    def __init__(
+        self,
+        mna: MNASystem,
+        dt: float,
+        options: TransientOptions = TransientOptions(),
+    ):
+        check_positive(dt, "dt")
+        self._mna = mna
+        self._dt = dt
+        self._options = options
+
+        self._full = FullOrderStrategy(mna, dt, options)
+        self._rom: Optional["ReducedOrderStrategy"] = None
+        if options.solver_mode == "rom":
+            from repro.sim.rom import ReducedOrderStrategy
+
+            self._rom = ReducedOrderStrategy.build(self._full, options.rom)
+
+    @property
+    def dt(self) -> float:
+        """Integration time step in seconds."""
+        return self._dt
+
+    @property
+    def options(self) -> TransientOptions:
+        """The option set the engine was built with."""
+        return self._options
+
+    @property
+    def mna(self) -> MNASystem:
+        """The MNA system being integrated."""
+        return self._mna
+
+    @property
+    def strategy(self) -> TransientSolverStrategy:
+        """The active integration strategy (full-order or ROM)."""
+        return self._rom if self._rom is not None else self._full
+
+    @property
+    def full_order(self) -> FullOrderStrategy:
+        """The full-order strategy (always built; the ROM's reference)."""
+        return self._full
+
+    @property
+    def rom_stats(self) -> Optional["ROMRunStats"]:
+        """Gate statistics of the ROM strategy (``None`` in full mode)."""
+        return self._rom.stats if self._rom is not None else None
+
+    def _check_trace(self, trace: CurrentTrace) -> None:
+        """Validate one trace against the engine's dt and load count."""
+        if not np.isclose(trace.dt, self._dt, rtol=1e-9, atol=0.0):
+            raise ValueError(
+                f"trace dt {trace.dt} does not match engine dt {self._dt}; "
+                "build a new engine for a different time step"
+            )
+        if trace.num_loads != self._mna.num_loads:
+            raise ValueError(
+                f"trace has {trace.num_loads} loads but the design has {self._mna.num_loads}"
+            )
+
+    def run(self, trace: CurrentTrace) -> TransientResult:
+        """Integrate the system over a current trace.
+
+        The trace's ``dt`` must match the engine's ``dt`` (the factorisation
+        depends on it).  In ROM mode the single-trace path is *ungated* —
+        the error gate needs a batch to sample from; use :meth:`run_many`
+        for validated reduced-order labels.
+        """
+        self._check_trace(trace)
+        return self.strategy.run(trace)
+
+    # ------------------------------------------------------------------ #
+    # lockstep block integration
+    # ------------------------------------------------------------------ #
+
+    def run_many(
+        self,
+        traces: Sequence[CurrentTrace],
+        batch_size: Optional[int] = None,
+    ) -> list[TransientResult]:
+        """Integrate several traces in lockstep through one factorisation.
+
+        Dynamic PDN analysis is a series of static solves against one
+        matrix; this is the block-RHS version of that observation.  Traces
+        are grouped by length and each group advances through time together:
+        at every stamp the per-trace right-hand sides are stacked as columns
+        and handed to the solver's block back-substitution
+        (:meth:`~repro.sim.linear.LinearSolver.solve_many`) in a **single**
+        call, so the per-solve overhead — and all per-step Python work — is
+        amortised across the whole batch.  This is the hot path of the
+        dataset factory (:mod:`repro.datagen`).
+
+        Column back-substitutions are independent inside SuperLU: each
+        returned :class:`TransientResult` agrees with what :meth:`run`
+        produces for the same trace to solver rounding (usually bit-equal;
+        at worst a few ULPs, because the multi-RHS kernel may round
+        differently), and results are fully deterministic for a given batch
+        decomposition (asserted by ``tests/sim/test_transient.py``).
+
+        In ROM mode every call is **gated**: a deterministic sample of the
+        traces (:attr:`repro.sim.rom.ROMOptions.validate_vectors`, spread
+        evenly over the call) is also integrated full-order; when the ROM's
+        ``worst_droop`` deviates beyond
+        :attr:`~repro.sim.rom.ROMOptions.tolerance` on any sampled trace the
+        whole call falls back to the full-order strategy (recorded in
+        :attr:`rom_stats` and the ``sim.rom.fallbacks`` counter).  Sampled
+        traces always return their full-order results.
+
+        Parameters
+        ----------
+        traces:
+            Current traces; each must match the engine's ``dt`` and the
+            design's load count.  Lengths may differ (equal lengths batch
+            best).
+        batch_size:
+            Maximum number of traces integrated per lockstep block — bounds
+            the ``(N, batch_size)`` working set.  ``None`` integrates each
+            equal-length group as one block.
+
+        Returns
+        -------
+        One :class:`TransientResult` per trace, in input order.
+        """
+        traces = list(traces)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        for trace in traces:
+            self._check_trace(trace)
+        if not traces:
+            return []
+        if self._rom is None:
+            return self._run_groups(traces, batch_size, self._full)
+        return self._run_gated(traces, batch_size)
+
+    def _run_groups(
+        self,
+        traces: list[CurrentTrace],
+        batch_size: Optional[int],
+        strategy: TransientSolverStrategy,
+    ) -> list[TransientResult]:
+        """Group already-validated traces by length and run lockstep blocks."""
+        results: list[Optional[TransientResult]] = [None] * len(traces)
+        groups: dict[int, list[int]] = {}
+        for index, trace in enumerate(traces):
+            groups.setdefault(trace.num_steps, []).append(index)
+        for indices in groups.values():
+            limit = batch_size or len(indices)
+            for start in range(0, len(indices), limit):
+                chunk = indices[start:start + limit]
+                for index, result in zip(chunk, strategy.run_block([traces[i] for i in chunk])):
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+    def _validation_indices(self, count: int) -> list[int]:
+        """Deterministic evenly-spread sample of trace indices to validate."""
+        assert self._rom is not None
+        sample = min(self._rom.options.validate_vectors, count)
+        if sample <= 0:
+            return []
+        if sample == 1:
+            return [0]
+        return sorted({round(i * (count - 1) / (sample - 1)) for i in range(sample)})
+
+    def _run_gated(
+        self, traces: list[CurrentTrace], batch_size: Optional[int]
+    ) -> list[TransientResult]:
+        """ROM integration with the deterministic full-order error gate."""
+        rom = self._rom
+        assert rom is not None
+        results = self._run_groups(traces, batch_size, rom)
+        indices = self._validation_indices(len(traces))
+        if not indices:
+            rom.stats.rom_vectors += len(traces)
+            return results
+
+        reference = self._run_groups([traces[i] for i in indices], batch_size, self._full)
+        error = 0.0
+        for index, full_result in zip(indices, reference):
+            denominator = max(abs(full_result.worst_droop), rom.options.droop_floor)
+            error = max(
+                error, abs(results[index].worst_droop - full_result.worst_droop) / denominator
+            )
+        rom.stats.calls += 1
+        rom.stats.validated += len(indices)
+        rom.stats.max_rel_error = max(rom.stats.max_rel_error, error)
+        obs.metrics().counter("sim.rom.validations").inc(len(indices))
+
+        if error <= rom.options.tolerance:
+            # Accept: the sampled traces keep their (free, exact) full-order
+            # results, everything else stays reduced-order.
+            for index, full_result in zip(indices, reference):
+                results[index] = full_result
+            rom.stats.rom_vectors += len(traces) - len(indices)
+            rom.stats.full_vectors += len(indices)
+            return results
+
+        rom.stats.fallbacks += 1
+        rom.stats.full_vectors += len(traces)
+        obs.metrics().counter("sim.rom.fallbacks").inc()
+        _LOG.warning(
+            "ROM gate failed (rel. worst_droop error %.3g > tolerance %.3g); "
+            "falling back to the full-order solver for this batch of %d traces",
+            error,
+            rom.options.tolerance,
+            len(traces),
+        )
+        remaining = [i for i in range(len(traces)) if i not in set(indices)]
+        recomputed = self._run_groups([traces[i] for i in remaining], batch_size, self._full)
+        for index, full_result in zip(indices, reference):
+            results[index] = full_result
+        for index, full_result in zip(remaining, recomputed):
+            results[index] = full_result
         return results

@@ -1,0 +1,137 @@
+"""ROM-mode corpus generation: spec carriage, shard stamping, crash resume."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CorpusDesignSpec,
+    CorpusSpec,
+    generate_corpus,
+    load_design_dataset,
+)
+from repro.datagen.shards import ShardRecord
+from repro.sim.rom import ROMOptions
+
+
+def _design(**overrides) -> CorpusDesignSpec:
+    base = dict(
+        label="small", design="small@8", num_vectors=6, num_steps=40,
+        shard_size=2, seed=7,
+    )
+    base.update(overrides)
+    return CorpusDesignSpec(**base)
+
+
+def rom_spec(**rom_overrides) -> CorpusSpec:
+    return CorpusSpec(
+        designs=(_design(),), solver_mode="rom", rom=ROMOptions(**rom_overrides)
+    )
+
+
+class TestSpecCarriage:
+    def test_full_mode_omits_solver_keys(self):
+        # Hash stability: pre-seam specs must serialise (and hash) as before.
+        payload = CorpusSpec(designs=(_design(),)).to_dict()
+        assert "solver_mode" not in payload
+        assert "rom" not in payload
+
+    def test_rom_mode_serialises_mode_and_options(self):
+        payload = rom_spec(rank=48).to_dict()
+        assert payload["solver_mode"] == "rom"
+        assert payload["rom"]["rank"] == 48
+
+    def test_rom_mode_autofills_default_options(self):
+        spec = CorpusSpec(designs=(_design(),), solver_mode="rom")
+        assert spec.rom == ROMOptions()
+
+    def test_round_trip_preserves_hash(self):
+        spec = rom_spec(order=4, rank=48)
+        clone = CorpusSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.config_hash() == spec.config_hash()
+
+    def test_hash_sensitive_to_solver_mode_and_options(self):
+        full = CorpusSpec(designs=(_design(),))
+        rom = rom_spec()
+        assert full.config_hash() != rom.config_hash()
+        assert rom.config_hash() != rom_spec(rank=48).config_hash()
+
+    def test_rejects_unknown_solver_mode(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(designs=(_design(),), solver_mode="reduced")
+
+    def test_rejects_rom_options_in_full_mode(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(designs=(_design(),), rom=ROMOptions())
+
+
+class TestShardRecordSolver:
+    def _record(self, **overrides) -> ShardRecord:
+        base = dict(
+            label="small", index=0, start=0, stop=2,
+            path="small/shard-00000.npz", num_samples=2,
+            content_hash="abc", seed=7,
+        )
+        base.update(overrides)
+        return ShardRecord(**base)
+
+    def test_full_default_is_omitted_from_payload(self):
+        payload = self._record().to_dict()
+        assert "solver" not in payload
+        assert ShardRecord.from_dict(payload).solver == "full"
+
+    def test_rom_solver_round_trips(self):
+        for solver in ("rom", "rom+fallback"):
+            payload = self._record(solver=solver).to_dict()
+            assert payload["solver"] == solver
+            assert ShardRecord.from_dict(payload).solver == solver
+
+
+class TestRomCorpus:
+    def test_shards_are_stamped_and_labels_stay_close(self, tmp_path):
+        full_report = generate_corpus(
+            CorpusSpec(designs=(_design(),)), tmp_path / "full", num_workers=0
+        )
+        rom_report = generate_corpus(rom_spec(), tmp_path / "rom", num_workers=0)
+        assert rom_report.complete
+        assert all(r.solver == "rom" for r in rom_report.manifest.records)
+        assert all(r.solver == "full" for r in full_report.manifest.records)
+
+        manifest = json.loads((tmp_path / "rom" / "manifest.json").read_text())
+        assert manifest["spec"]["solver_mode"] == "rom"
+        assert all(record["solver"] == "rom" for record in manifest["shards"])
+
+        rom_ds = load_design_dataset(tmp_path / "rom", "small", verify=True)
+        full_ds = load_design_dataset(tmp_path / "full", "small", verify=True)
+        scale = max(float(np.max(np.abs(s.target))) for s in full_ds.samples)
+        for ours, theirs in zip(rom_ds.samples, full_ds.samples):
+            assert ours.name == theirs.name
+            np.testing.assert_allclose(
+                ours.target, theirs.target, rtol=0.05, atol=0.02 * scale
+            )
+
+    def test_interrupted_then_resumed_is_identical(self, tmp_path):
+        spec = rom_spec()
+        full = generate_corpus(spec, tmp_path / "full", num_workers=0)
+
+        first = generate_corpus(spec, tmp_path / "resumed", num_workers=0, max_shards=1)
+        assert not first.complete and first.shards_generated == 1
+        second = generate_corpus(spec, tmp_path / "resumed", num_workers=0)
+        assert second.complete and second.shards_skipped == 1
+
+        assert [r.to_dict() for r in second.manifest.records] == [
+            r.to_dict() for r in full.manifest.records
+        ]
+
+    def test_fallback_shards_are_recorded(self, tmp_path):
+        # A tolerance no ROM can meet forces the gate to relabel every
+        # shard full-order and record the decision in the manifest.
+        spec = CorpusSpec(
+            designs=(_design(),), solver_mode="rom",
+            rom=ROMOptions(tolerance=1e-15),
+        )
+        report = generate_corpus(spec, tmp_path, num_workers=0)
+        assert report.complete
+        assert all(r.solver == "rom+fallback" for r in report.manifest.records)
